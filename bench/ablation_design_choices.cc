@@ -1,0 +1,186 @@
+// Ablations for the design choices DESIGN.md §5 calls out.
+//
+//   A. One-pass vs two-pass normalizer: how far does the integrated
+//      variant's sample size drift from the target, across exponents?
+//   B. Bandwidth regime: the per-exponent bandwidth choice (sharp for
+//      a > 0, rule-as-is for a < 0) vs using the other regime's setting.
+//   C. Density floor: sensitivity of negative-exponent sampling to the
+//      floor under noise.
+//   D. CURE outlier elimination: clusters found with and without the
+//      two-phase elimination, with noise in the sample.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/hierarchical.h"
+#include "eval/report.h"
+#include "util/stats.h"
+
+namespace {
+
+using dbs::bench::ClusterSampleAndMatch;
+
+dbs::synth::ClusteredDataset MakeData(double noise, double size_ratio,
+                                      uint64_t seed) {
+  dbs::synth::ClusteredDatasetOptions opts;
+  opts.num_clusters = 10;
+  opts.num_cluster_points = 100000;
+  opts.size_ratio = size_ratio;
+  opts.noise_multiplier = noise;
+  opts.seed = seed;
+  auto ds = dbs::synth::MakeClusteredDataset(opts);
+  DBS_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+void AblateNormalizer() {
+  auto ds = MakeData(0.2, 3.0, 81);
+  dbs::density::KdeOptions kde_opts;
+  kde_opts.num_kernels = 1000;
+  auto kde = dbs::density::Kde::Fit(ds.points, kde_opts);
+  DBS_CHECK(kde.ok());
+
+  dbs::eval::Table table({"a", "target", "two-pass mean size",
+                          "one-pass mean size", "normalizer ratio"});
+  for (double a : {-0.5, 0.0, 0.5, 1.0}) {
+    dbs::OnlineMoments two_pass_sizes;
+    dbs::OnlineMoments one_pass_sizes;
+    double ratio = 0;
+    for (uint64_t seed = 0; seed < 5; ++seed) {
+      dbs::core::BiasedSamplerOptions opts;
+      opts.a = a;
+      opts.target_size = 1000;
+      opts.seed = seed;
+      dbs::core::BiasedSampler sampler(opts);
+      auto two = sampler.Run(ds.points, *kde);
+      auto one = sampler.RunOnePass(ds.points, *kde);
+      DBS_CHECK(two.ok());
+      DBS_CHECK(one.ok());
+      two_pass_sizes.Add(static_cast<double>(two->size()));
+      one_pass_sizes.Add(static_cast<double>(one->size()));
+      ratio += one->normalizer / two->normalizer;
+    }
+    table.AddRow({dbs::eval::Table::Num(a, 2), "1000",
+                  dbs::eval::Table::Num(two_pass_sizes.mean(), 0),
+                  dbs::eval::Table::Num(one_pass_sizes.mean(), 0),
+                  dbs::eval::Table::Num(ratio / 5, 3)});
+  }
+  table.Print("A. one-pass vs two-pass normalizer (estimated k_a vs exact)");
+}
+
+void AblateBandwidth() {
+  dbs::eval::Table table({"config", "clusters found"});
+  // a = 1 under heavy noise: sharp vs rule-as-is bandwidth.
+  {
+    auto ds = MakeData(0.8, 3.0, 83);
+    int64_t sample = ds.points.size() / 50;
+    double sharp = 0;
+    double smooth = 0;
+    for (int t = 0; t < 3; ++t) {
+      sharp += dbs::bench::RunBiasedCure(ds.points, ds.truth, 1.0, sample,
+                                         10, 1000, 90 + t, 0.3);
+      smooth += dbs::bench::RunBiasedCure(ds.points, ds.truth, 1.0, sample,
+                                          10, 1000, 90 + t, 1.0);
+    }
+    table.AddRow({"a=1, 80% noise, bandwidth x0.3 (chosen)",
+                  dbs::eval::Table::Num(sharp / 3, 1)});
+    table.AddRow({"a=1, 80% noise, bandwidth x1.0",
+                  dbs::eval::Table::Num(smooth / 3, 1)});
+  }
+  // a = -0.5, variable densities: rule-as-is vs sharp bandwidth.
+  {
+    auto ds = MakeData(0.1, 10.0, 85);
+    int64_t sample = ds.points.size() / 200;
+    double sharp = 0;
+    double smooth = 0;
+    for (int t = 0; t < 3; ++t) {
+      sharp += dbs::bench::RunBiasedCure(ds.points, ds.truth, -0.5, sample,
+                                         10, 1000, 95 + t, 0.3);
+      smooth += dbs::bench::RunBiasedCure(ds.points, ds.truth, -0.5, sample,
+                                          10, 1000, 95 + t, 1.0);
+    }
+    table.AddRow({"a=-0.5, 10x densities, bandwidth x1.0 (chosen)",
+                  dbs::eval::Table::Num(smooth / 3, 1)});
+    table.AddRow({"a=-0.5, 10x densities, bandwidth x0.3",
+                  dbs::eval::Table::Num(sharp / 3, 1)});
+  }
+  table.Print("B. bandwidth regime (the per-exponent choice matters both "
+              "ways)");
+}
+
+void AblateDensityFloor() {
+  auto ds = MakeData(0.1, 10.0, 87);
+  dbs::density::KdeOptions kde_opts;
+  kde_opts.num_kernels = 1000;
+  auto kde = dbs::density::Kde::Fit(ds.points, kde_opts);
+  DBS_CHECK(kde.ok());
+  dbs::eval::Table table({"floor (x avg density)", "clusters found",
+                          "mean sample size"});
+  for (double floor : {1e-6, 1e-3, 1e-1, 1.0}) {
+    double found = 0;
+    dbs::OnlineMoments sizes;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      dbs::core::BiasedSamplerOptions opts;
+      opts.a = -0.5;
+      opts.target_size = 1000;
+      opts.density_floor_fraction = floor;
+      opts.seed = seed;
+      auto sample = dbs::core::BiasedSampler(opts).Run(ds.points, *kde);
+      DBS_CHECK(sample.ok());
+      sizes.Add(static_cast<double>(sample->size()));
+      found += ClusterSampleAndMatch(sample->points, ds.truth, 10);
+    }
+    table.AddRow({dbs::eval::Table::Num(floor, 6),
+                  dbs::eval::Table::Num(found / 3, 1),
+                  dbs::eval::Table::Num(sizes.mean(), 0)});
+  }
+  table.Print("C. density floor under a=-0.5 with 10% noise (2-D)");
+}
+
+void AblateElimination() {
+  auto ds = MakeData(0.4, 3.0, 89);
+  dbs::density::KdeOptions kde_opts;
+  kde_opts.num_kernels = 1000;
+  kde_opts.bandwidth_scale = 0.3;
+  auto kde = dbs::density::Kde::Fit(ds.points, kde_opts);
+  DBS_CHECK(kde.ok());
+  dbs::eval::Table table({"pipeline", "clusters found"});
+  double with_elim = 0;
+  double without_elim = 0;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    dbs::core::BiasedSamplerOptions opts;
+    opts.a = 1.0;
+    opts.target_size = 2000;
+    opts.seed = seed;
+    auto sample = dbs::core::BiasedSampler(opts).Run(ds.points, *kde);
+    DBS_CHECK(sample.ok());
+    for (bool eliminate : {true, false}) {
+      dbs::cluster::HierarchicalOptions cluster_opts;
+      cluster_opts.num_clusters = 10;
+      cluster_opts.eliminate_outliers = eliminate;
+      auto clustering =
+          dbs::cluster::HierarchicalCluster(sample->points, cluster_opts);
+      DBS_CHECK(clustering.ok());
+      double found =
+          dbs::eval::MatchClusters(*clustering, ds.truth).num_found();
+      (eliminate ? with_elim : without_elim) += found;
+    }
+  }
+  table.AddRow({"CURE with two-phase outlier elimination",
+                dbs::eval::Table::Num(with_elim / 3, 1)});
+  table.AddRow({"CURE without elimination",
+                dbs::eval::Table::Num(without_elim / 3, 1)});
+  table.Print("D. CURE outlier elimination (40% noise, a=1 sample of 2%)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablations of the design choices in DESIGN.md section 5\n");
+  AblateNormalizer();
+  AblateBandwidth();
+  AblateDensityFloor();
+  AblateElimination();
+  return 0;
+}

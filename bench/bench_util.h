@@ -1,0 +1,138 @@
+// Shared pipeline helpers for the figure/table benches.
+//
+// Every clustering bench compares the same four pipelines the paper does:
+//   BS-CURE   density-biased sample (KDE + exponent a) + hierarchical
+//   RS-CURE   uniform Bernoulli sample + hierarchical
+//   BIRCH     CF-tree over the FULL dataset under a memory budget equal to
+//             the sample's size, then global clustering (paper §4.2)
+//   GRID      Palmer-Faloutsos grid-biased sample + hierarchical (Fig 5c)
+// Each helper returns the number of true clusters found under the paper's
+// 90%-of-representatives rule (center-in-cluster for BIRCH).
+
+#ifndef DBS_BENCH_BENCH_UTIL_H_
+#define DBS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "cluster/birch.h"
+#include "cluster/hierarchical.h"
+#include "core/biased_sampler.h"
+#include "core/grid_biased_sampler.h"
+#include "density/grid_density.h"
+#include "density/kde.h"
+#include "eval/cluster_match.h"
+#include "sampling/uniform_sampler.h"
+#include "synth/generator.h"
+#include "util/check.h"
+
+namespace dbs::bench {
+
+// Bytes a sample of `sample_size` points in `dim` dimensions occupies;
+// used as BIRCH's memory budget so the comparison is space-fair.
+inline int64_t SampleBytes(int64_t sample_size, int dim) {
+  return sample_size * static_cast<int64_t>(dim) *
+         static_cast<int64_t>(sizeof(double));
+}
+
+inline int ClusterSampleAndMatch(const data::PointSet& sample,
+                                 const synth::GroundTruth& truth,
+                                 int num_clusters) {
+  if (sample.size() < 2 * num_clusters) return 0;
+  cluster::HierarchicalOptions opts;
+  opts.num_clusters = num_clusters;
+  auto clustering = cluster::HierarchicalCluster(sample, opts);
+  if (!clustering.ok()) return 0;
+  return eval::MatchClusters(*clustering, truth).num_found();
+}
+
+// BS-CURE: fit KDE (num_kernels), draw a biased sample with exponent `a`,
+// cluster, match.
+// `density_floor_fraction` <= 0 keeps the sampler default (1e-3 of the
+// average density). High-dimensional panels with strongly negative `a`
+// raise it to 1.0: compact-support kernels leave coverage holes in 5-D, so
+// points in holes would otherwise hit the tiny floor and soak up the whole
+// sample; flooring at the average density caps the sparse-region boost at
+// the average-vs-dense contrast, which is the contrast the experiment is
+// about.
+inline int RunBiasedCure(const data::PointSet& points,
+                         const synth::GroundTruth& truth, double a,
+                         int64_t sample_size, int num_clusters,
+                         int64_t num_kernels, uint64_t seed,
+                         double bandwidth_scale = 0.0,
+                         double density_floor_fraction = 0.0) {
+  density::KdeOptions kde_opts;
+  kde_opts.num_kernels = num_kernels;
+  kde_opts.seed = seed;
+  // Bandwidth regime (see DESIGN.md §5): positive exponents need a SHARP
+  // estimate (the unimodal normal-reference rule oversmooths clustered
+  // data until noise next to clusters reads as dense), while negative
+  // exponents need the SMOOTH rule-as-is estimate (oversmoothing
+  // compresses the density's dynamic range, which keeps f^a from blowing
+  // up on the sparse noise the exponent would otherwise chase).
+  // bandwidth_scale = 0 selects that per-regime default.
+  kde_opts.bandwidth_scale =
+      bandwidth_scale > 0 ? bandwidth_scale : (a >= 0 ? 0.3 : 1.0);
+  auto kde = density::Kde::Fit(points, kde_opts);
+  DBS_CHECK(kde.ok());
+  core::BiasedSamplerOptions sampler_opts;
+  sampler_opts.a = a;
+  sampler_opts.target_size = sample_size;
+  sampler_opts.seed = seed + 1;
+  if (density_floor_fraction > 0) {
+    sampler_opts.density_floor_fraction = density_floor_fraction;
+  }
+  auto sample = core::BiasedSampler(sampler_opts).Run(points, *kde);
+  DBS_CHECK(sample.ok());
+  return ClusterSampleAndMatch(sample->points, truth, num_clusters);
+}
+
+// RS-CURE: uniform sample, cluster, match.
+inline int RunUniformCure(const data::PointSet& points,
+                          const synth::GroundTruth& truth,
+                          int64_t sample_size, int num_clusters,
+                          uint64_t seed) {
+  sampling::BernoulliSampleOptions opts;
+  opts.target_size = sample_size;
+  opts.seed = seed;
+  auto sample = sampling::BernoulliSample(points, opts);
+  DBS_CHECK(sample.ok());
+  return ClusterSampleAndMatch(*sample, truth, num_clusters);
+}
+
+// BIRCH on the entire dataset with memory equal to the sample size.
+inline int RunBirchAndMatch(const data::PointSet& points,
+                            const synth::GroundTruth& truth,
+                            int64_t memory_budget_bytes, int num_clusters) {
+  cluster::BirchOptions opts;
+  opts.num_clusters = num_clusters;
+  opts.tree.page_size_bytes = 1024;
+  opts.tree.memory_budget_bytes =
+      std::max<int64_t>(memory_budget_bytes, 4 * 1024);
+  auto result = cluster::RunBirch(points, opts);
+  DBS_CHECK(result.ok());
+  return eval::MatchBirchClusters(*result, truth).num_found();
+}
+
+// Palmer-Faloutsos grid-biased sampling with exponent e and a 5 MB hash
+// budget (the allowance the paper grants it in §4.3).
+inline int RunGridCure(const data::PointSet& points,
+                       const synth::GroundTruth& truth, double e,
+                       int64_t sample_size, int num_clusters,
+                       uint64_t seed) {
+  density::GridDensityOptions grid_opts;
+  grid_opts.cells_per_dim = 64;
+  grid_opts.memory_budget_bytes = 5 * 1024 * 1024;
+  auto grid = density::GridDensity::Fit(points, grid_opts);
+  DBS_CHECK(grid.ok());
+  core::GridBiasedSamplerOptions sampler_opts;
+  sampler_opts.e = e;
+  sampler_opts.target_size = sample_size;
+  sampler_opts.seed = seed;
+  auto sample = core::GridBiasedSampler(sampler_opts).Run(points, *grid);
+  DBS_CHECK(sample.ok());
+  return ClusterSampleAndMatch(sample->points, truth, num_clusters);
+}
+
+}  // namespace dbs::bench
+
+#endif  // DBS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,184 @@
+// Future-work extension (paper §5): density-biased sampling for
+// classification / decision-tree construction.
+//
+// Setup: points belong to heavily imbalanced classes (cluster id = class,
+// largest/smallest count ratio 20). A CART tree trained on a small sample
+// should recover the full-data decision surface. Uniform samples starve
+// the minority classes; sparse-region-biased samples (a = -0.5) keep them
+// represented, and Horvitz-Thompson weights keep the induced tree an
+// unbiased estimate of the full-data tree.
+//
+// Series: tree trained on the FULL data (reference), on a uniform sample,
+// on a biased a=-0.5 sample with HT weights, and on the same biased sample
+// unweighted (ablation: the weights matter, not just the point set).
+// Metrics on the full data: overall accuracy and worst-class recall.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classify/decision_tree.h"
+#include "core/biased_sampler.h"
+#include "density/kde.h"
+#include "eval/report.h"
+#include "sampling/uniform_sampler.h"
+#include "synth/generator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+constexpr int kClasses = 8;
+constexpr int64_t kPoints = 60000;
+constexpr int kTrials = 3;
+
+struct Labeled {
+  dbs::data::PointSet points{2};
+  std::vector<int32_t> labels;
+};
+
+Labeled MakeLabeled(uint64_t seed) {
+  dbs::synth::ClusteredDatasetOptions opts;
+  opts.num_clusters = kClasses;
+  opts.num_cluster_points = kPoints;
+  opts.size_ratio = 50.0;  // heavy class imbalance
+  opts.noise_multiplier = 0.0;
+  opts.shuffle = true;
+  opts.seed = seed;
+  auto ds = dbs::synth::MakeClusteredDataset(opts);
+  DBS_CHECK(ds.ok());
+  Labeled out;
+  out.points = std::move(ds->points);
+  out.labels = std::move(ds->truth.labels);
+  return out;
+}
+
+struct Metrics {
+  double accuracy = 0;
+  double worst_recall = 0;
+};
+
+Metrics Evaluate(const dbs::classify::DecisionTree& tree,
+                 const Labeled& data) {
+  Metrics m;
+  m.accuracy = tree.Accuracy(data.points, data.labels);
+  std::vector<double> recall =
+      tree.PerClassRecall(data.points, data.labels, kClasses);
+  m.worst_recall = *std::min_element(recall.begin(), recall.end());
+  return m;
+}
+
+// Gathers the labels of sampled points by matching them back to rows.
+// Samples carry coordinates only, so the bench re-labels by lookup in a
+// hash of the (unique, double-exact) coordinates.
+std::vector<int32_t> LabelsFor(const dbs::data::PointSet& sample,
+                               const Labeled& data) {
+  // Exact-coordinate map from the (shuffled, but unique w.h.p.) points.
+  struct Key {
+    double x;
+    double y;
+    bool operator<(const Key& o) const {
+      return x < o.x || (x == o.x && y < o.y);
+    }
+  };
+  std::map<Key, int32_t> lookup;
+  for (int64_t i = 0; i < data.points.size(); ++i) {
+    lookup[{data.points[i][0], data.points[i][1]}] = data.labels[i];
+  }
+  std::vector<int32_t> labels;
+  labels.reserve(static_cast<size_t>(sample.size()));
+  for (int64_t i = 0; i < sample.size(); ++i) {
+    auto it = lookup.find({sample[i][0], sample[i][1]});
+    DBS_CHECK(it != lookup.end());
+    labels.push_back(it->second);
+  }
+  return labels;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Classification extension: CART trees from samples of %lldk "
+              "points, %d classes with 50x imbalance, %d trials\n",
+              static_cast<long long>(kPoints / 1000), kClasses, kTrials);
+
+  dbs::eval::Table table({"sample", "full-data acc/minrec",
+                          "uniform acc/minrec", "biased+wts acc/minrec",
+                          "biased unwtd acc/minrec"});
+  for (int64_t sample_size : {100LL, 200LL, 400LL, 800LL}) {
+    Metrics full{};
+    Metrics uniform{};
+    Metrics biased_weighted{};
+    Metrics biased_plain{};
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Labeled data = MakeLabeled(900 + trial);
+      dbs::classify::DecisionTreeOptions tree_opts;
+
+      auto full_tree = dbs::classify::DecisionTree::Train(
+          data.points, data.labels, {}, tree_opts);
+      DBS_CHECK(full_tree.ok());
+      Metrics m = Evaluate(*full_tree, data);
+      full.accuracy += m.accuracy;
+      full.worst_recall += m.worst_recall;
+
+      uint64_t seed = 9500 + 31 * trial;
+      // Uniform sample.
+      dbs::sampling::BernoulliSampleOptions uni_opts;
+      uni_opts.target_size = sample_size;
+      uni_opts.seed = seed;
+      auto uni = dbs::sampling::BernoulliSample(data.points, uni_opts);
+      DBS_CHECK(uni.ok());
+      auto uni_tree = dbs::classify::DecisionTree::Train(
+          *uni, LabelsFor(*uni, data), {}, tree_opts);
+      DBS_CHECK(uni_tree.ok());
+      m = Evaluate(*uni_tree, data);
+      uniform.accuracy += m.accuracy;
+      uniform.worst_recall += m.worst_recall;
+
+      // Biased a=-0.5 sample (smooth-bandwidth regime).
+      dbs::density::KdeOptions kde_opts;
+      kde_opts.num_kernels = 1000;
+      kde_opts.seed = seed;
+      auto kde = dbs::density::Kde::Fit(data.points, kde_opts);
+      DBS_CHECK(kde.ok());
+      dbs::core::BiasedSamplerOptions biased_opts;
+      biased_opts.a = -0.5;
+      biased_opts.target_size = sample_size;
+      biased_opts.seed = seed + 1;
+      auto biased =
+          dbs::core::BiasedSampler(biased_opts).Run(data.points, *kde);
+      DBS_CHECK(biased.ok());
+      std::vector<int32_t> biased_labels = LabelsFor(biased->points, data);
+
+      auto weighted_tree = dbs::classify::DecisionTree::Train(
+          biased->points, biased_labels, biased->Weights(), tree_opts);
+      DBS_CHECK(weighted_tree.ok());
+      m = Evaluate(*weighted_tree, data);
+      biased_weighted.accuracy += m.accuracy;
+      biased_weighted.worst_recall += m.worst_recall;
+
+      auto plain_tree = dbs::classify::DecisionTree::Train(
+          biased->points, biased_labels, {}, tree_opts);
+      DBS_CHECK(plain_tree.ok());
+      m = Evaluate(*plain_tree, data);
+      biased_plain.accuracy += m.accuracy;
+      biased_plain.worst_recall += m.worst_recall;
+    }
+    auto cell = [&](const Metrics& m) {
+      return dbs::eval::Table::Num(m.accuracy / kTrials, 3) + " / " +
+             dbs::eval::Table::Num(m.worst_recall / kTrials, 2);
+    };
+    table.AddRow({dbs::eval::Table::Int(sample_size), cell(full),
+                  cell(uniform), cell(biased_weighted),
+                  cell(biased_plain)});
+  }
+  table.Print("accuracy / worst-class recall on the full data");
+  std::printf(
+      "\nExpected shape: at small samples the uniform tree loses the\n"
+      "minority classes (worst-class recall near 0) while the biased\n"
+      "sample keeps them learnable; the HT weights keep overall accuracy\n"
+      "close to the full-data tree.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 7 — "Varying the number of Kernels".
+//
+// Paper setup: two 100k datasets — DS1 with 10 equal-size clusters plus 50%
+// noise (clustered with a = 1.0) and DS2 with 10 clusters of very different
+// sizes plus 20% noise (a = -0.25); sample size 500; number of kernels
+// swept from 100 to 1200.
+//
+// Paper result to reproduce (shape): quality improves steeply as kernels
+// grow from ~100, then flattens; DS2 (variable densities) depends on the
+// estimate's accuracy more than DS1.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/report.h"
+
+namespace {
+
+using dbs::bench::RunBiasedCure;
+
+constexpr int kClusters = 10;
+constexpr int64_t kClusterPoints = 100000;
+constexpr int64_t kSampleSize = 500;
+constexpr int kTrials = 3;
+
+dbs::synth::ClusteredDataset MakeDs1(uint64_t seed) {
+  dbs::synth::ClusteredDatasetOptions opts;
+  opts.num_clusters = kClusters;
+  opts.num_cluster_points = kClusterPoints;
+  opts.size_ratio = 1.0;        // equal sizes
+  opts.noise_multiplier = 0.5;  // 50% noise
+  opts.seed = seed;
+  auto ds = dbs::synth::MakeClusteredDataset(opts);
+  DBS_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+dbs::synth::ClusteredDataset MakeDs2(uint64_t seed) {
+  dbs::synth::ClusteredDatasetOptions opts;
+  opts.num_clusters = kClusters;
+  opts.num_cluster_points = kClusterPoints;
+  opts.size_ratio = 10.0;       // very different sizes
+  opts.noise_multiplier = 0.2;  // 20% noise
+  opts.seed = seed;
+  auto ds = dbs::synth::MakeClusteredDataset(opts);
+  DBS_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 7: clusters found (of %d) vs number of kernels; "
+              "500-point samples, %d trials/cell\n", kClusters, kTrials);
+  dbs::eval::Table table({"kernels", "DS1-50% noise (a=1.0)",
+                          "DS2-20% noise (a=-0.25)"});
+  // The paper sweeps 100..1200; this implementation's estimate is already
+  // accurate at 100 kernels, so the sweep extends below to expose the
+  // rising edge of the quality curve.
+  for (int64_t kernels : {10LL, 25LL, 50LL, 100LL, 200LL, 400LL, 800LL,
+                          1200LL}) {
+    double ds1_sum = 0;
+    double ds2_sum = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      uint64_t seed = 4000 * trial + 13;
+      auto ds1 = MakeDs1(400 + trial);
+      ds1_sum += RunBiasedCure(ds1.points, ds1.truth, /*a=*/1.0, kSampleSize,
+                               kClusters, kernels, seed);
+      auto ds2 = MakeDs2(500 + trial);
+      ds2_sum += RunBiasedCure(ds2.points, ds2.truth, /*a=*/-0.25,
+                               kSampleSize, kClusters, kernels, seed);
+    }
+    table.AddRow({dbs::eval::Table::Int(kernels),
+                  dbs::eval::Table::Num(ds1_sum / kTrials, 1),
+                  dbs::eval::Table::Num(ds2_sum / kTrials, 1)});
+  }
+  table.Print("Fig 7: varying the number of kernels");
+  return 0;
+}

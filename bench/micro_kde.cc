@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark): the cost of the primitives behind
+// every experiment, and the grid-index ablation called out in DESIGN.md §5.
+//
+//   * Kde evaluation with the compact-support grid index vs brute force,
+//     across kernel counts and dimensionalities (identical results; the
+//     index should win by a widening margin as kernels grow).
+//   * Biased-sampler pass throughput.
+//   * kd-tree neighbor counting (the outlier verification primitive).
+
+#include <benchmark/benchmark.h>
+
+#include "core/biased_sampler.h"
+#include "data/kd_tree.h"
+#include "density/kde.h"
+#include "synth/generator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+dbs::synth::ClusteredDataset MakeData(int dim, int64_t points) {
+  dbs::synth::ClusteredDatasetOptions opts;
+  opts.dim = dim;
+  opts.num_clusters = 10;
+  opts.num_cluster_points = points;
+  opts.noise_multiplier = 0.1;
+  opts.seed = 71;
+  auto ds = dbs::synth::MakeClusteredDataset(opts);
+  DBS_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+dbs::density::Kde FitKde(const dbs::data::PointSet& points, int64_t kernels,
+                         bool grid_index) {
+  dbs::density::KdeOptions opts;
+  opts.num_kernels = kernels;
+  opts.use_grid_index = grid_index;
+  auto kde = dbs::density::Kde::Fit(points, opts);
+  DBS_CHECK(kde.ok());
+  return std::move(kde).value();
+}
+
+void BM_KdeEvaluateIndexed(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int64_t kernels = state.range(1);
+  auto ds = MakeData(dim, 50000);
+  dbs::density::Kde kde = FitKde(ds.points, kernels, /*grid_index=*/true);
+  dbs::Rng rng(5);
+  std::vector<double> q(dim);
+  for (auto _ : state) {
+    for (int j = 0; j < dim; ++j) q[j] = rng.NextDouble();
+    benchmark::DoNotOptimize(
+        kde.Evaluate(dbs::data::PointView(q.data(), dim)));
+  }
+}
+BENCHMARK(BM_KdeEvaluateIndexed)
+    ->Args({2, 100})
+    ->Args({2, 1000})
+    ->Args({2, 4000})
+    ->Args({5, 1000});
+
+void BM_KdeEvaluateBrute(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int64_t kernels = state.range(1);
+  auto ds = MakeData(dim, 50000);
+  dbs::density::Kde kde = FitKde(ds.points, kernels, /*grid_index=*/false);
+  dbs::Rng rng(5);
+  std::vector<double> q(dim);
+  for (auto _ : state) {
+    for (int j = 0; j < dim; ++j) q[j] = rng.NextDouble();
+    benchmark::DoNotOptimize(
+        kde.EvaluateBrute(dbs::data::PointView(q.data(), dim)));
+  }
+}
+BENCHMARK(BM_KdeEvaluateBrute)
+    ->Args({2, 100})
+    ->Args({2, 1000})
+    ->Args({2, 4000})
+    ->Args({5, 1000});
+
+void BM_KdeFit(benchmark::State& state) {
+  const int64_t kernels = state.range(0);
+  auto ds = MakeData(2, 100000);
+  for (auto _ : state) {
+    dbs::density::Kde kde = FitKde(ds.points, kernels, true);
+    benchmark::DoNotOptimize(kde.num_kernels());
+  }
+  state.SetItemsProcessed(state.iterations() * ds.points.size());
+}
+BENCHMARK(BM_KdeFit)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_BiasedSamplerTwoPass(benchmark::State& state) {
+  auto ds = MakeData(2, 100000);
+  dbs::density::Kde kde = FitKde(ds.points, 1000, true);
+  dbs::core::BiasedSamplerOptions opts;
+  opts.a = 1.0;
+  opts.target_size = 1000;
+  dbs::core::BiasedSampler sampler(opts);
+  for (auto _ : state) {
+    auto sample = sampler.Run(ds.points, kde);
+    DBS_CHECK(sample.ok());
+    benchmark::DoNotOptimize(sample->size());
+  }
+  state.SetItemsProcessed(state.iterations() * ds.points.size() * 2);
+}
+BENCHMARK(BM_BiasedSamplerTwoPass)->Unit(benchmark::kMillisecond);
+
+void BM_BiasedSamplerOnePass(benchmark::State& state) {
+  auto ds = MakeData(2, 100000);
+  dbs::density::Kde kde = FitKde(ds.points, 1000, true);
+  dbs::core::BiasedSamplerOptions opts;
+  opts.a = 1.0;
+  opts.target_size = 1000;
+  dbs::core::BiasedSampler sampler(opts);
+  for (auto _ : state) {
+    auto sample = sampler.RunOnePass(ds.points, kde);
+    DBS_CHECK(sample.ok());
+    benchmark::DoNotOptimize(sample->size());
+  }
+  state.SetItemsProcessed(state.iterations() * ds.points.size());
+}
+BENCHMARK(BM_BiasedSamplerOnePass)->Unit(benchmark::kMillisecond);
+
+void BM_KdTreeCountWithinRadius(benchmark::State& state) {
+  auto ds = MakeData(2, 100000);
+  dbs::data::KdTree tree(&ds.points);
+  dbs::Rng rng(7);
+  double q[2];
+  for (auto _ : state) {
+    q[0] = rng.NextDouble();
+    q[1] = rng.NextDouble();
+    benchmark::DoNotOptimize(tree.CountWithinRadius(
+        dbs::data::PointView(q, 2), 0.05, /*cap=*/10));
+  }
+}
+BENCHMARK(BM_KdTreeCountWithinRadius);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Scenario: metropolitan-area discovery in address data (paper §4.3,
+// "Real Datasets").
+//
+// The NorthEast postal-address dataset has three dominant metro areas (New
+// York, Philadelphia, Boston) buried in rural background; uniform samples
+// drown the metros in that background, density-biased samples keep them.
+// This example runs the comparison on the simulated NorthEast-like and
+// California-like datasets and prints which metros each pipeline recovers.
+//
+// Build & run:  ./build/examples/geospatial_survey
+
+#include <cstdio>
+#include <string>
+
+#include "cluster/hierarchical.h"
+#include "core/biased_sampler.h"
+#include "density/kde.h"
+#include "eval/cluster_match.h"
+#include "sampling/uniform_sampler.h"
+#include "synth/geo.h"
+
+namespace {
+
+void Survey(const char* name, const dbs::synth::ClusteredDataset& dataset,
+            const char* const* metro_names) {
+  std::printf("\n--- %s: %lld points, %d metro areas ---\n", name,
+              static_cast<long long>(dataset.points.size()),
+              dataset.truth.num_true_clusters());
+
+  dbs::density::KdeOptions kde_opts;
+  kde_opts.num_kernels = 1000;
+  auto kde = dbs::density::Kde::Fit(dataset.points, kde_opts);
+  if (!kde.ok()) return;
+
+  const int64_t sample_size = dataset.points.size() / 100;  // 1%
+  const int k = dataset.truth.num_true_clusters() + 2;  // metros + slack
+
+  auto evaluate = [&](const dbs::data::PointSet& sample, const char* label) {
+    dbs::cluster::HierarchicalOptions opts;
+    opts.num_clusters = k;
+    auto clustering = dbs::cluster::HierarchicalCluster(sample, opts);
+    if (!clustering.ok()) return;
+    auto match = dbs::eval::MatchClusters(*clustering, dataset.truth);
+    std::string found;
+    for (size_t r = 0; r < match.found.size(); ++r) {
+      if (match.found[r]) {
+        if (!found.empty()) found += ", ";
+        found += metro_names[r];
+      }
+    }
+    std::printf("  %-22s found %d/%d metros%s%s\n", label, match.num_found(),
+                dataset.truth.num_true_clusters(),
+                found.empty() ? "" : ": ", found.c_str());
+  };
+
+  dbs::sampling::BernoulliSampleOptions uni_opts;
+  uni_opts.target_size = sample_size;
+  auto uniform = dbs::sampling::BernoulliSample(dataset.points, uni_opts);
+  if (uniform.ok()) evaluate(*uniform, "uniform 1% sample:");
+
+  dbs::core::BiasedSamplerOptions biased_opts;
+  biased_opts.a = 1.0;
+  biased_opts.target_size = sample_size;
+  dbs::core::BiasedSampler sampler(biased_opts);
+  auto biased = sampler.Run(dataset.points, *kde);
+  if (biased.ok()) evaluate(biased->points, "biased a=1 1% sample:");
+}
+
+}  // namespace
+
+int main() {
+  {
+    dbs::synth::GeoDatasetOptions opts;
+    opts.num_points = 130000;
+    opts.seed = 3;
+    auto northeast = dbs::synth::MakeNorthEastLike(opts);
+    if (!northeast.ok()) return 1;
+    const char* metros[] = {"Philadelphia", "New York", "Boston"};
+    Survey("NorthEast-like", *northeast, metros);
+  }
+  {
+    dbs::synth::GeoDatasetOptions opts;
+    opts.seed = 4;
+    auto california = dbs::synth::MakeCaliforniaLike(opts);
+    if (!california.ok()) return 1;
+    const char* metros[] = {"Bay Area", "Los Angeles"};
+    Survey("California-like", *california, metros);
+  }
+  std::printf(
+      "\nThe metros are tiny in area but huge in density: a uniform sample\n"
+      "spends most of its budget on rural background, while the biased\n"
+      "sample concentrates where the structure is.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Scenario: telecom-style usage records with heavy background noise.
+//
+// The motivating workload of the paper's introduction: a large data
+// collection where some datasets contain clusters, and the analyst wants a
+// fast approximate answer before committing resources. This example sweeps
+// the noise level and compares three ways to summarize the data before
+// clustering:
+//   * uniform random sample,
+//   * density-biased sample with a = 1 (oversample dense regions),
+//   * density-biased sample with a = -0.5 (oversample sparse regions —
+//     deliberately the wrong tool here, to show the tuning matters).
+//
+// Build & run:  ./build/examples/noisy_clusters
+
+#include <cstdio>
+
+#include "cluster/hierarchical.h"
+#include "core/biased_sampler.h"
+#include "density/kde.h"
+#include "eval/cluster_match.h"
+#include "eval/report.h"
+#include "sampling/uniform_sampler.h"
+#include "synth/generator.h"
+
+namespace {
+
+int FoundClusters(const dbs::data::PointSet& sample,
+                  const dbs::synth::GroundTruth& truth) {
+  dbs::cluster::HierarchicalOptions opts;
+  opts.num_clusters = truth.num_true_clusters();
+  auto clustering = dbs::cluster::HierarchicalCluster(sample, opts);
+  if (!clustering.ok()) return 0;
+  return dbs::eval::MatchClusters(*clustering, truth).num_found();
+}
+
+}  // namespace
+
+int main() {
+  const int64_t kClusterPoints = 50000;
+  const int64_t kSampleSize = 1000;
+
+  dbs::eval::Table table({"noise%", "uniform", "biased a=1",
+                          "biased a=-0.5"});
+
+  for (double noise : {0.1, 0.3, 0.5, 0.8}) {
+    dbs::synth::ClusteredDatasetOptions data_opts;
+    data_opts.num_clusters = 10;
+    data_opts.num_cluster_points = kClusterPoints;
+    // Keep cluster extents similar so equal-count clusters have similar
+    // densities; the variable-density story is fig5_variable_density's.
+    data_opts.min_extent = 0.10;
+    data_opts.max_extent = 0.16;
+    data_opts.noise_multiplier = noise;
+    data_opts.seed = 11;
+    auto dataset = dbs::synth::MakeClusteredDataset(data_opts);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "generator: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+
+    dbs::density::KdeOptions kde_opts;
+    kde_opts.num_kernels = 1000;
+    // Sharpen the normal-reference bandwidth: clustered data is far from
+    // the unimodal shape the rule assumes.
+    kde_opts.bandwidth_scale = 0.3;
+    auto kde = dbs::density::Kde::Fit(dataset->points, kde_opts);
+    if (!kde.ok()) return 1;
+
+    // Uniform baseline.
+    dbs::sampling::BernoulliSampleOptions uni_opts;
+    uni_opts.target_size = kSampleSize;
+    auto uniform = dbs::sampling::BernoulliSample(dataset->points, uni_opts);
+    if (!uniform.ok()) return 1;
+
+    // Two biased samples with opposite exponents.
+    auto biased_sample = [&](double a) {
+      dbs::core::BiasedSamplerOptions opts;
+      opts.a = a;
+      opts.target_size = kSampleSize;
+      dbs::core::BiasedSampler sampler(opts);
+      auto s = sampler.Run(dataset->points, *kde);
+      DBS_CHECK(s.ok());
+      return std::move(s).value();
+    };
+    auto dense_biased = biased_sample(1.0);
+    auto sparse_biased = biased_sample(-0.5);
+
+    table.AddRow({dbs::eval::Table::Num(noise * 100, 0),
+                  dbs::eval::Table::Int(FoundClusters(*uniform,
+                                                      dataset->truth)),
+                  dbs::eval::Table::Int(FoundClusters(dense_biased.points,
+                                                      dataset->truth)),
+                  dbs::eval::Table::Int(FoundClusters(sparse_biased.points,
+                                                      dataset->truth))});
+  }
+
+  table.Print("clusters found (out of 10) vs noise, 1000-point samples");
+  std::printf(
+      "\nTakeaway: with noise, oversampling DENSE regions (a = 1) keeps all\n"
+      "clusters findable; uniform sampling degrades, and oversampling\n"
+      "sparse regions amplifies the noise instead.\n");
+  return 0;
+}

@@ -1,0 +1,235 @@
+#include "classify/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dbs::classify {
+namespace {
+
+// Weighted Gini impurity of the class-mass vector.
+double Gini(const std::vector<double>& class_mass, double total) {
+  if (total <= 0) return 0.0;
+  double sum_sq = 0.0;
+  for (double m : class_mass) sum_sq += (m / total) * (m / total);
+  return 1.0 - sum_sq;
+}
+
+int32_t ArgMax(const std::vector<double>& v) {
+  return static_cast<int32_t>(std::max_element(v.begin(), v.end()) -
+                              v.begin());
+}
+
+struct BestSplit {
+  int feature = -1;
+  double threshold = 0.0;
+  double impurity_decrease = 0.0;
+};
+
+// Exact best split over all features: sort rows per feature, sweep the
+// prefix class masses. O(d * m log m) per node.
+BestSplit FindBestSplit(const data::PointSet& points,
+                        const std::vector<int32_t>& labels,
+                        const std::vector<double>& weights,
+                        const std::vector<int64_t>& rows, int num_classes,
+                        double min_leaf_weight) {
+  auto weight_of = [&](int64_t i) {
+    return weights.empty() ? 1.0 : weights[static_cast<size_t>(i)];
+  };
+  std::vector<double> total_mass(num_classes, 0.0);
+  double total = 0.0;
+  for (int64_t r : rows) {
+    total_mass[labels[r]] += weight_of(r);
+    total += weight_of(r);
+  }
+  const double parent_gini = Gini(total_mass, total);
+
+  BestSplit best;
+  std::vector<int64_t> sorted = rows;
+  std::vector<double> left_mass(num_classes);
+  for (int j = 0; j < points.dim(); ++j) {
+    std::sort(sorted.begin(), sorted.end(), [&](int64_t a, int64_t b) {
+      return points[a][j] < points[b][j];
+    });
+    std::fill(left_mass.begin(), left_mass.end(), 0.0);
+    double left_total = 0.0;
+    for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+      int64_t r = sorted[i];
+      left_mass[labels[r]] += weight_of(r);
+      left_total += weight_of(r);
+      double x = points[r][j];
+      double x_next = points[sorted[i + 1]][j];
+      if (x == x_next) continue;  // cannot split between equal values
+      double right_total = total - left_total;
+      if (left_total < min_leaf_weight || right_total < min_leaf_weight) {
+        continue;
+      }
+      // Weighted child impurity.
+      double right_gini;
+      {
+        double sum_sq = 0.0;
+        for (int c = 0; c < num_classes; ++c) {
+          double m = total_mass[c] - left_mass[c];
+          sum_sq += (m / right_total) * (m / right_total);
+        }
+        right_gini = 1.0 - sum_sq;
+      }
+      double left_gini = Gini(left_mass, left_total);
+      double weighted = (left_total * left_gini + right_total * right_gini) /
+                        total;
+      double decrease = parent_gini - weighted;
+      if (decrease > best.impurity_decrease) {
+        best.impurity_decrease = decrease;
+        best.feature = j;
+        best.threshold = 0.5 * (x + x_next);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<DecisionTree> DecisionTree::Train(const data::PointSet& points,
+                                         const std::vector<int32_t>& labels,
+                                         const std::vector<double>& weights,
+                                         const DecisionTreeOptions& options) {
+  const int64_t n = points.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot train on an empty point set");
+  }
+  if (static_cast<int64_t>(labels.size()) != n) {
+    return Status::InvalidArgument("labels size must match points");
+  }
+  if (!weights.empty()) {
+    if (static_cast<int64_t>(weights.size()) != n) {
+      return Status::InvalidArgument("weights size must match points");
+    }
+    for (double w : weights) {
+      if (!(w > 0)) {
+        return Status::InvalidArgument("weights must be positive");
+      }
+    }
+  }
+  if (options.max_depth < 1) {
+    return Status::InvalidArgument("max_depth must be at least 1");
+  }
+  if (options.min_leaf_weight <= 0) {
+    return Status::InvalidArgument("min_leaf_weight must be positive");
+  }
+  int32_t max_label = 0;
+  for (int32_t label : labels) {
+    if (label < 0) {
+      return Status::InvalidArgument("labels must be non-negative");
+    }
+    max_label = std::max(max_label, label);
+  }
+
+  DecisionTree tree;
+  tree.num_classes_ = max_label + 1;
+  std::vector<int64_t> rows(static_cast<size_t>(n));
+  std::iota(rows.begin(), rows.end(), int64_t{0});
+  tree.Build(points, labels, weights, rows, 0, options);
+  return tree;
+}
+
+int32_t DecisionTree::Build(const data::PointSet& points,
+                            const std::vector<int32_t>& labels,
+                            const std::vector<double>& weights,
+                            std::vector<int64_t>& rows, int depth,
+                            const DecisionTreeOptions& options) {
+  depth_ = std::max(depth_, depth);
+  auto weight_of = [&](int64_t i) {
+    return weights.empty() ? 1.0 : weights[static_cast<size_t>(i)];
+  };
+  std::vector<double> class_mass(num_classes_, 0.0);
+  for (int64_t r : rows) class_mass[labels[r]] += weight_of(r);
+
+  Node node;
+  node.prediction = ArgMax(class_mass);
+
+  bool pure = true;
+  for (int64_t r : rows) {
+    if (labels[r] != labels[rows[0]]) {
+      pure = false;
+      break;
+    }
+  }
+  if (!pure && depth < options.max_depth) {
+    BestSplit split = FindBestSplit(points, labels, weights, rows,
+                                    num_classes_, options.min_leaf_weight);
+    if (split.feature >= 0 &&
+        split.impurity_decrease >= options.min_impurity_decrease) {
+      std::vector<int64_t> left_rows;
+      std::vector<int64_t> right_rows;
+      for (int64_t r : rows) {
+        (points[r][split.feature] <= split.threshold ? left_rows
+                                                     : right_rows)
+            .push_back(r);
+      }
+      DBS_CHECK(!left_rows.empty() && !right_rows.empty());
+      rows.clear();
+      rows.shrink_to_fit();
+      node.feature = static_cast<int16_t>(split.feature);
+      node.threshold = split.threshold;
+      int32_t self = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back(node);
+      int32_t left = Build(points, labels, weights, left_rows, depth + 1,
+                           options);
+      int32_t right = Build(points, labels, weights, right_rows, depth + 1,
+                            options);
+      nodes_[self].left = left;
+      nodes_[self].right = right;
+      return self;
+    }
+  }
+  nodes_.push_back(node);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int32_t DecisionTree::Predict(data::PointView p) const {
+  DBS_CHECK(!nodes_.empty());
+  int32_t current = 0;
+  while (nodes_[current].feature >= 0) {
+    const Node& node = nodes_[current];
+    current = p[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[current].prediction;
+}
+
+double DecisionTree::Accuracy(const data::PointSet& points,
+                              const std::vector<int32_t>& labels) const {
+  DBS_CHECK(static_cast<int64_t>(labels.size()) == points.size());
+  if (points.empty()) return 0.0;
+  int64_t correct = 0;
+  for (int64_t i = 0; i < points.size(); ++i) {
+    if (Predict(points[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(points.size());
+}
+
+std::vector<double> DecisionTree::PerClassRecall(
+    const data::PointSet& points, const std::vector<int32_t>& labels,
+    int num_classes) const {
+  DBS_CHECK(static_cast<int64_t>(labels.size()) == points.size());
+  std::vector<int64_t> total(num_classes, 0);
+  std::vector<int64_t> correct(num_classes, 0);
+  for (int64_t i = 0; i < points.size(); ++i) {
+    int32_t label = labels[i];
+    DBS_CHECK(label >= 0 && label < num_classes);
+    ++total[label];
+    if (Predict(points[i]) == label) ++correct[label];
+  }
+  std::vector<double> recall(num_classes, 1.0);
+  for (int c = 0; c < num_classes; ++c) {
+    if (total[c] > 0) {
+      recall[c] = static_cast<double>(correct[c]) /
+                  static_cast<double>(total[c]);
+    }
+  }
+  return recall;
+}
+
+}  // namespace dbs::classify

@@ -1,0 +1,124 @@
+#include "cluster/birch.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dbs::cluster {
+namespace {
+
+// Weighted centroid-distance agglomeration of CF subclusters down to k.
+// Uses closest-pointer maintenance, O(m^2) overall.
+std::vector<ClusteringFeature> Agglomerate(std::vector<ClusteringFeature> cfs,
+                                           int k) {
+  const int m = static_cast<int>(cfs.size());
+  if (m <= k) return cfs;
+  std::vector<bool> alive(m, true);
+  std::vector<int> closest(m, -1);
+  std::vector<double> closest_d2(m,
+                                 std::numeric_limits<double>::infinity());
+
+  auto recompute = [&](int i) {
+    closest[i] = -1;
+    closest_d2[i] = std::numeric_limits<double>::infinity();
+    for (int x = 0; x < m; ++x) {
+      if (x == i || !alive[x]) continue;
+      double d2 = ClusteringFeature::CentroidDistance2(cfs[i], cfs[x]);
+      if (d2 < closest_d2[i]) {
+        closest_d2[i] = d2;
+        closest[i] = x;
+      }
+    }
+  };
+  for (int i = 0; i < m; ++i) recompute(i);
+
+  int live = m;
+  while (live > k) {
+    int u = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      if (alive[i] && closest[i] >= 0 && closest_d2[i] < best) {
+        best = closest_d2[i];
+        u = i;
+      }
+    }
+    DBS_CHECK(u >= 0);
+    int v = closest[u];
+    cfs[u].Merge(cfs[v]);
+    alive[v] = false;
+    --live;
+    for (int x = 0; x < m; ++x) {
+      if (!alive[x] || x == u) continue;
+      if (closest[x] == u || closest[x] == v) recompute(x);
+    }
+    // Refresh u and push its (moved) centroid into the others.
+    closest[u] = -1;
+    closest_d2[u] = std::numeric_limits<double>::infinity();
+    for (int x = 0; x < m; ++x) {
+      if (!alive[x] || x == u) continue;
+      double d2 = ClusteringFeature::CentroidDistance2(cfs[u], cfs[x]);
+      if (d2 < closest_d2[u]) {
+        closest_d2[u] = d2;
+        closest[u] = x;
+      }
+      if (d2 < closest_d2[x]) {
+        closest_d2[x] = d2;
+        closest[x] = u;
+      }
+    }
+  }
+
+  std::vector<ClusteringFeature> out;
+  out.reserve(k);
+  for (int i = 0; i < m; ++i) {
+    if (alive[i]) out.push_back(std::move(cfs[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BirchResult> RunBirch(data::DataScan& scan,
+                                     const BirchOptions& options) {
+  if (options.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (scan.size() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty dataset");
+  }
+  DBS_ASSIGN_OR_RETURN(CfTree tree, CfTree::Create(scan.dim(), options.tree));
+
+  // Phase 1: one streaming pass.
+  scan.Reset();
+  data::ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      tree.Insert(batch.point(i, scan.dim()));
+    }
+  }
+
+  BirchResult result;
+  result.leaf_entries = tree.num_leaf_entries();
+  result.final_threshold = tree.threshold();
+  result.rebuilds = tree.rebuilds();
+
+  // Phase 3: global clustering of the leaf subclusters.
+  std::vector<ClusteringFeature> merged =
+      Agglomerate(tree.LeafEntries(), options.num_clusters);
+  result.clusters.reserve(merged.size());
+  for (const ClusteringFeature& cf : merged) {
+    BirchCluster cluster;
+    cluster.center = cf.Centroid();
+    cluster.radius = cf.Radius();
+    cluster.weight = cf.n;
+    result.clusters.push_back(std::move(cluster));
+  }
+  return result;
+}
+
+Result<BirchResult> RunBirch(const data::PointSet& points,
+                                     const BirchOptions& options) {
+  data::InMemoryScan scan(&points);
+  return RunBirch(scan, options);
+}
+
+}  // namespace dbs::cluster

@@ -1,0 +1,53 @@
+// BIRCH driver (phases 1 and 3 of the SIGMOD 1996 algorithm).
+//
+// Phase 1 streams the dataset once into a CF-tree under a memory budget;
+// phase 3 agglomerates the leaf subclusters (weighted, centroid distance)
+// into the requested number of clusters. The result reports centers, radii
+// and weights — BIRCH never materializes point memberships, which is why
+// the paper's evaluation matches it by "reported center lies inside a true
+// cluster" (§4.2). Following §4.2, the memory budget should be set to the
+// size of the sample the competing methods use, while BIRCH itself reads
+// the ENTIRE dataset.
+
+#ifndef DBS_CLUSTER_BIRCH_H_
+#define DBS_CLUSTER_BIRCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cf_tree.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace dbs::cluster {
+
+struct BirchOptions {
+  int num_clusters = 10;
+  CfTreeOptions tree;
+};
+
+struct BirchCluster {
+  std::vector<double> center;
+  double radius = 0.0;
+  // Number of data points summarized by this cluster.
+  double weight = 0.0;
+};
+
+struct BirchResult {
+  std::vector<BirchCluster> clusters;
+  // Diagnostics from phase 1.
+  int64_t leaf_entries = 0;
+  double final_threshold = 0.0;
+  int rebuilds = 0;
+};
+
+// Runs phase 1 over `scan` (exactly one pass) and phase 3 in memory.
+Result<BirchResult> RunBirch(data::DataScan& scan,
+                                     const BirchOptions& options);
+
+Result<BirchResult> RunBirch(const data::PointSet& points,
+                                     const BirchOptions& options);
+
+}  // namespace dbs::cluster
+
+#endif  // DBS_CLUSTER_BIRCH_H_

@@ -1,0 +1,292 @@
+#include "cluster/cf_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dbs::cluster {
+
+void ClusteringFeature::AddPoint(data::PointView p) {
+  DBS_DCHECK(p.dim() == dim());
+  n += 1.0;
+  double norm2 = 0.0;
+  for (int j = 0; j < dim(); ++j) {
+    ls[j] += p[j];
+    norm2 += p[j] * p[j];
+  }
+  ss += norm2;
+}
+
+void ClusteringFeature::Merge(const ClusteringFeature& other) {
+  DBS_DCHECK(other.dim() == dim());
+  n += other.n;
+  for (int j = 0; j < dim(); ++j) ls[j] += other.ls[j];
+  ss += other.ss;
+}
+
+std::vector<double> ClusteringFeature::Centroid() const {
+  DBS_DCHECK(n > 0);
+  std::vector<double> c(ls.size());
+  for (size_t j = 0; j < ls.size(); ++j) c[j] = ls[j] / n;
+  return c;
+}
+
+double ClusteringFeature::Radius() const {
+  if (n <= 0) return 0.0;
+  double centroid_norm2 = 0.0;
+  for (double v : ls) centroid_norm2 += (v / n) * (v / n);
+  double r2 = ss / n - centroid_norm2;
+  return r2 > 0 ? std::sqrt(r2) : 0.0;
+}
+
+double ClusteringFeature::MergedRadius(const ClusteringFeature& other) const {
+  ClusteringFeature merged = *this;
+  merged.Merge(other);
+  return merged.Radius();
+}
+
+double ClusteringFeature::CentroidDistance2(const ClusteringFeature& a,
+                                            const ClusteringFeature& b) {
+  DBS_DCHECK(a.dim() == b.dim());
+  DBS_DCHECK(a.n > 0 && b.n > 0);
+  double d2 = 0.0;
+  for (int j = 0; j < a.dim(); ++j) {
+    double diff = a.ls[j] / a.n - b.ls[j] / b.n;
+    d2 += diff * diff;
+  }
+  return d2;
+}
+
+Result<CfTree> CfTree::Create(int dim, const CfTreeOptions& options) {
+  if (dim <= 0) {
+    return Status::InvalidArgument("dim must be positive");
+  }
+  if (options.page_size_bytes < 64) {
+    return Status::InvalidArgument("page size is unusably small");
+  }
+  if (options.memory_budget_bytes < options.page_size_bytes) {
+    return Status::InvalidArgument(
+        "memory budget must hold at least one page");
+  }
+  if (options.initial_threshold < 0) {
+    return Status::InvalidArgument("threshold cannot be negative");
+  }
+  CfTree tree;
+  tree.dim_ = dim;
+  tree.options_ = options;
+  tree.threshold_ = options.initial_threshold;
+  // Leaf entry: CF = (n, ls[dim], ss) doubles. Internal entry additionally
+  // carries a child pointer.
+  int leaf_entry_bytes = static_cast<int>((2 + dim) * sizeof(double));
+  int internal_entry_bytes = leaf_entry_bytes + static_cast<int>(sizeof(void*));
+  tree.leaf_capacity_ =
+      std::max(4, options.page_size_bytes / leaf_entry_bytes);
+  tree.internal_capacity_ =
+      std::max(4, options.page_size_bytes / internal_entry_bytes);
+  tree.root_ = std::make_unique<Node>();
+  tree.node_count_ = 1;
+  return tree;
+}
+
+void CfTree::Insert(data::PointView p) {
+  DBS_CHECK(p.dim() == dim_);
+  ClusteringFeature cf(dim_);
+  cf.AddPoint(p);
+  InsertCf(cf);
+  while (memory_bytes() > options_.memory_budget_bytes) {
+    RebuildWithLargerThreshold();
+  }
+}
+
+void CfTree::InsertCf(const ClusteringFeature& cf) {
+  total_n_ += cf.n;
+  std::unique_ptr<Node> sibling = InsertIntoNode(root_.get(), cf);
+  if (sibling != nullptr) {
+    // Root split: grow a new root with two children.
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    ClusteringFeature left(dim_);
+    for (const ClusteringFeature& e : root_->entries) left.Merge(e);
+    ClusteringFeature right(dim_);
+    for (const ClusteringFeature& e : sibling->entries) right.Merge(e);
+    new_root->entries.push_back(std::move(left));
+    new_root->children.push_back(std::move(root_));
+    new_root->entries.push_back(std::move(right));
+    new_root->children.push_back(std::move(sibling));
+    root_ = std::move(new_root);
+    ++node_count_;
+  }
+}
+
+std::unique_ptr<CfTree::Node> CfTree::InsertIntoNode(
+    Node* node, const ClusteringFeature& cf) {
+  if (node->is_leaf) {
+    // Closest leaf entry by centroid distance.
+    int best = -1;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      double d2 = ClusteringFeature::CentroidDistance2(node->entries[i], cf);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0 && node->entries[best].MergedRadius(cf) <= threshold_) {
+      node->entries[best].Merge(cf);
+      return nullptr;
+    }
+    node->entries.push_back(cf);
+    if (static_cast<int>(node->entries.size()) <= leaf_capacity_) {
+      return nullptr;
+    }
+    return SplitNode(node);
+  }
+
+  // Internal node: descend into the closest child.
+  int best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    double d2 = ClusteringFeature::CentroidDistance2(node->entries[i], cf);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int>(i);
+    }
+  }
+  std::unique_ptr<Node> child_sibling =
+      InsertIntoNode(node->children[best].get(), cf);
+  node->entries[best].Merge(cf);
+  if (child_sibling != nullptr) {
+    // Recompute the split child's summary and add the sibling's.
+    ClusteringFeature left(dim_);
+    for (const ClusteringFeature& e : node->children[best]->entries) {
+      left.Merge(e);
+    }
+    node->entries[best] = std::move(left);
+    ClusteringFeature right(dim_);
+    for (const ClusteringFeature& e : child_sibling->entries) {
+      right.Merge(e);
+    }
+    node->entries.push_back(std::move(right));
+    node->children.push_back(std::move(child_sibling));
+    if (static_cast<int>(node->entries.size()) > internal_capacity_) {
+      return SplitNode(node);
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<CfTree::Node> CfTree::SplitNode(Node* node) {
+  // Seeds: the farthest pair of entries by centroid distance.
+  const size_t m = node->entries.size();
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double far_d2 = -1.0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      double d2 = ClusteringFeature::CentroidDistance2(node->entries[i],
+                                                       node->entries[j]);
+      if (d2 > far_d2) {
+        far_d2 = d2;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->is_leaf = node->is_leaf;
+
+  std::vector<ClusteringFeature> old_entries = std::move(node->entries);
+  std::vector<std::unique_ptr<Node>> old_children = std::move(node->children);
+  node->entries.clear();
+  node->children.clear();
+
+  // Copy the seed CFs: entries are moved out of old_entries as they are
+  // redistributed, so distances must be taken against stable copies.
+  const ClusteringFeature cf_a = old_entries[seed_a];
+  const ClusteringFeature cf_b = old_entries[seed_b];
+  for (size_t i = 0; i < m; ++i) {
+    double da = ClusteringFeature::CentroidDistance2(old_entries[i], cf_a);
+    double db = ClusteringFeature::CentroidDistance2(old_entries[i], cf_b);
+    Node* target = (i == seed_a || (i != seed_b && da <= db))
+                       ? node
+                       : sibling.get();
+    target->entries.push_back(std::move(old_entries[i]));
+    if (!old_children.empty()) {
+      target->children.push_back(std::move(old_children[i]));
+    }
+  }
+  ++node_count_;
+  return sibling;
+}
+
+double CfTree::SmallestLeafEntryGap() const {
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!node->is_leaf) {
+      for (const auto& child : node->children) stack.push_back(child.get());
+      continue;
+    }
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      for (size_t j = i + 1; j < node->entries.size(); ++j) {
+        best = std::min(best, ClusteringFeature::CentroidDistance2(
+                                  node->entries[i], node->entries[j]));
+      }
+    }
+  }
+  return std::isfinite(best) ? std::sqrt(best) : 0.0;
+}
+
+void CfTree::RebuildWithLargerThreshold() {
+  // New threshold: at least the smallest gap between sibling leaf entries
+  // (so at least one pair becomes absorbable), and at least a multiple of
+  // the current threshold so the loop always terminates.
+  double gap = SmallestLeafEntryGap();
+  double base = threshold_ > 0 ? threshold_ * 1.5 : 1e-9;
+  threshold_ = std::max({gap, base});
+  ++rebuilds_;
+
+  std::vector<ClusteringFeature> leaves = LeafEntries();
+  root_ = std::make_unique<Node>();
+  node_count_ = 1;
+  total_n_ = 0.0;
+  // Reinserting coarser CFs under the larger threshold shrinks the tree.
+  for (const ClusteringFeature& cf : leaves) {
+    InsertCf(cf);
+  }
+}
+
+void CfTree::CollectLeaves(const Node* node,
+                           std::vector<ClusteringFeature>* out) const {
+  if (node->is_leaf) {
+    out->insert(out->end(), node->entries.begin(), node->entries.end());
+    return;
+  }
+  for (const auto& child : node->children) CollectLeaves(child.get(), out);
+}
+
+std::vector<ClusteringFeature> CfTree::LeafEntries() const {
+  std::vector<ClusteringFeature> out;
+  CollectLeaves(root_.get(), &out);
+  return out;
+}
+
+int64_t CfTree::num_leaf_entries() const {
+  int64_t count = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf) {
+      count += static_cast<int64_t>(node->entries.size());
+    } else {
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return count;
+}
+
+}  // namespace dbs::cluster

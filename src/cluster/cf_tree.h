@@ -1,0 +1,125 @@
+// Clustering-Feature tree (BIRCH phase 1; Zhang, Ramakrishnan & Livny,
+// SIGMOD 1996).
+//
+// A CF summarizes a set of points by (N, LS, SS): count, per-dimension
+// linear sum, and the scalar sum of squared norms. CFs are additive, which
+// is what lets the tree absorb points into subclusters in one pass. A leaf
+// entry absorbs a point when the merged subcluster's radius stays within
+// the threshold T; otherwise a new entry is created, splitting nodes that
+// overflow their page-derived capacity. When the tree outgrows its memory
+// budget it is rebuilt with a larger T (fewer, coarser subclusters) — the
+// mechanism that lets the paper cap BIRCH's memory at the size of the
+// competing sample (§4.2).
+
+#ifndef DBS_CLUSTER_CF_TREE_H_
+#define DBS_CLUSTER_CF_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/point_set.h"
+#include "util/status.h"
+
+namespace dbs::cluster {
+
+// Additive clustering feature.
+struct ClusteringFeature {
+  double n = 0.0;
+  std::vector<double> ls;  // linear sum per dimension
+  double ss = 0.0;         // sum of squared L2 norms
+
+  ClusteringFeature() = default;
+  explicit ClusteringFeature(int dim) : ls(dim, 0.0) {}
+
+  int dim() const { return static_cast<int>(ls.size()); }
+
+  void AddPoint(data::PointView p);
+  void Merge(const ClusteringFeature& other);
+
+  double centroid(int j) const { return ls[j] / n; }
+  std::vector<double> Centroid() const;
+
+  // RMS distance of the member points from the centroid:
+  //   R^2 = SS/N - ||LS/N||^2  (clamped at 0 against roundoff).
+  double Radius() const;
+
+  // Radius the union of this CF and `other` would have.
+  double MergedRadius(const ClusteringFeature& other) const;
+
+  // Squared distance between the two centroids (BIRCH metric D0).
+  static double CentroidDistance2(const ClusteringFeature& a,
+                                  const ClusteringFeature& b);
+};
+
+struct CfTreeOptions {
+  // Simulated page size; leaf/internal capacities are derived from it
+  // (paper §4.2 uses 1024 bytes).
+  int page_size_bytes = 1024;
+  // Total memory the tree may occupy (#nodes * page_size). The paper caps
+  // this at the size of the competing sample.
+  int64_t memory_budget_bytes = 1024 * 1024;
+  // Initial absorption threshold T (paper §4.2 starts at 0).
+  double initial_threshold = 0.0;
+};
+
+class CfTree {
+ public:
+  // Creates an empty tree for points of dimensionality `dim`.
+  static Result<CfTree> Create(int dim, const CfTreeOptions& options);
+
+  CfTree(CfTree&&) = default;
+  CfTree& operator=(CfTree&&) = default;
+
+  // Inserts one point, rebuilding with a larger threshold if the memory
+  // budget is exceeded.
+  void Insert(data::PointView p);
+
+  // All leaf-level subclusters, in tree order.
+  std::vector<ClusteringFeature> LeafEntries() const;
+
+  int64_t num_points() const { return static_cast<int64_t>(total_n_); }
+  int64_t num_nodes() const { return node_count_; }
+  int64_t num_leaf_entries() const;
+  double threshold() const { return threshold_; }
+  int rebuilds() const { return rebuilds_; }
+  int leaf_capacity() const { return leaf_capacity_; }
+  int internal_capacity() const { return internal_capacity_; }
+  int64_t memory_bytes() const {
+    return node_count_ * static_cast<int64_t>(options_.page_size_bytes);
+  }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::vector<ClusteringFeature> entries;
+    // Parallel to `entries` when !is_leaf.
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  CfTree() = default;
+
+  void InsertCf(const ClusteringFeature& cf);
+  // Returns a new sibling if `node` split, nullptr otherwise.
+  std::unique_ptr<Node> InsertIntoNode(Node* node,
+                                       const ClusteringFeature& cf);
+  std::unique_ptr<Node> SplitNode(Node* node);
+  void RebuildWithLargerThreshold();
+  double SmallestLeafEntryGap() const;
+  void CollectLeaves(const Node* node,
+                     std::vector<ClusteringFeature>* out) const;
+
+  int dim_ = 0;
+  CfTreeOptions options_;
+  int leaf_capacity_ = 0;
+  int internal_capacity_ = 0;
+  double threshold_ = 0.0;
+  double total_n_ = 0.0;
+  int64_t node_count_ = 0;
+  int rebuilds_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace dbs::cluster
+
+#endif  // DBS_CLUSTER_CF_TREE_H_

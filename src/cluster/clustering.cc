@@ -1,0 +1,27 @@
+#include "cluster/clustering.h"
+
+#include <limits>
+
+#include "data/distance.h"
+
+namespace dbs::cluster {
+
+int32_t NearestClusterByCentroid(const ClusteringResult& result,
+                                 data::PointView p) {
+  int32_t best = -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < result.clusters.size(); ++i) {
+    const Cluster& c = result.clusters[i];
+    if (c.centroid.empty()) continue;
+    data::PointView centroid(c.centroid.data(),
+                             static_cast<int>(c.centroid.size()));
+    double d2 = data::SquaredL2(p, centroid);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = static_cast<int32_t>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace dbs::cluster

@@ -1,0 +1,138 @@
+#include "cluster/dbscan.h"
+
+#include <limits>
+#include <vector>
+
+#include "data/distance.h"
+#include "data/kd_tree.h"
+
+namespace dbs::cluster {
+namespace {
+
+// Up to `c` well-scattered rows of `members` (farthest-point heuristic).
+data::PointSet SelectRepresentatives(const data::PointSet& points,
+                                     const std::vector<int64_t>& members,
+                                     const std::vector<double>& centroid,
+                                     int c) {
+  data::PointSet out(points.dim());
+  if (members.empty()) return out;
+  if (static_cast<int>(members.size()) <= c) {
+    for (int64_t m : members) out.Append(points[m]);
+    return out;
+  }
+  data::PointView mean(centroid.data(), points.dim());
+  std::vector<double> min_d2(members.size(),
+                             std::numeric_limits<double>::infinity());
+  std::vector<bool> taken(members.size(), false);
+  size_t first = 0;
+  double far = -1.0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    double d2 = data::SquaredL2(points[members[i]], mean);
+    if (d2 > far) {
+      far = d2;
+      first = i;
+    }
+  }
+  taken[first] = true;
+  out.Append(points[members[first]]);
+  for (size_t i = 0; i < members.size(); ++i) {
+    min_d2[i] = data::SquaredL2(points[members[i]], points[members[first]]);
+  }
+  while (out.size() < c) {
+    size_t pick = members.size();
+    double best = -1.0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (!taken[i] && min_d2[i] > best) {
+        best = min_d2[i];
+        pick = i;
+      }
+    }
+    if (pick == members.size()) break;
+    taken[pick] = true;
+    out.Append(points[members[pick]]);
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (!taken[i]) {
+        min_d2[i] = std::min(
+            min_d2[i],
+            data::SquaredL2(points[members[i]], points[members[pick]]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ClusteringResult> DbscanCluster(const data::PointSet& points,
+                                       const DbscanOptions& options,
+                                       int max_representatives) {
+  if (options.epsilon <= 0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  if (options.min_points < 1) {
+    return Status::InvalidArgument("min_points must be at least 1");
+  }
+  if (max_representatives < 1) {
+    return Status::InvalidArgument("max_representatives must be positive");
+  }
+  const int64_t n = points.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot cluster an empty point set");
+  }
+
+  data::KdTree tree(&points);
+
+  // Core-point test (counts include the point itself).
+  std::vector<bool> is_core(static_cast<size_t>(n), false);
+  for (int64_t i = 0; i < n; ++i) {
+    is_core[i] = tree.CountWithinRadius(points[i], options.epsilon,
+                                        options.min_points) >=
+                 options.min_points;
+  }
+
+  ClusteringResult result;
+  result.labels.assign(static_cast<size_t>(n), -1);
+  std::vector<int64_t> frontier;
+  for (int64_t seed = 0; seed < n; ++seed) {
+    if (!is_core[seed] || result.labels[seed] >= 0) continue;
+    // Grow a new cluster by BFS over epsilon-reachability from core points.
+    int32_t label = static_cast<int32_t>(result.clusters.size());
+    result.clusters.emplace_back();
+    Cluster& cluster = result.clusters.back();
+    result.labels[seed] = label;
+    frontier.assign(1, seed);
+    while (!frontier.empty()) {
+      int64_t current = frontier.back();
+      frontier.pop_back();
+      cluster.members.push_back(current);
+      if (!is_core[current]) continue;  // border points do not expand
+      for (int64_t nb : tree.WithinRadius(points[current],
+                                          options.epsilon)) {
+        if (result.labels[nb] >= 0) continue;
+        result.labels[nb] = label;
+        frontier.push_back(nb);
+      }
+    }
+    // Centroid, weight, representatives.
+    cluster.weight = static_cast<double>(cluster.members.size());
+    cluster.centroid.assign(points.dim(), 0.0);
+    for (int64_t m : cluster.members) {
+      for (int j = 0; j < points.dim(); ++j) {
+        cluster.centroid[j] += points[m][j];
+      }
+    }
+    for (double& v : cluster.centroid) v /= cluster.weight;
+    // Representatives drawn from the cluster's CORE points, so borders
+    // shared with noise do not dilute the match metric.
+    std::vector<int64_t> cores;
+    for (int64_t m : cluster.members) {
+      if (is_core[m]) cores.push_back(m);
+    }
+    cluster.representatives = SelectRepresentatives(
+        points, cores.empty() ? cluster.members : cores, cluster.centroid,
+        max_representatives);
+  }
+  return result;
+}
+
+}  // namespace dbs::cluster

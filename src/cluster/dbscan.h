@@ -1,0 +1,44 @@
+// DBSCAN (Ester et al., KDD 1996) — density-based clustering.
+//
+// A third "off the shelf" algorithm for the sampled pipelines (§3.1 uses
+// the term broadly). DBSCAN is a natural partner for density-biased
+// samples: it finds arbitrarily-shaped clusters as connected regions of
+// high point density and labels sparse points as noise, so it composes
+// well with a = 1 samples (noise already suppressed) and stresses the
+// samplers differently than the hierarchical algorithm (its epsilon is an
+// absolute density threshold rather than a relative merge order).
+//
+// Classic definition: a CORE point has at least min_points neighbors
+// within epsilon (counting itself); clusters are the connected components
+// of core points under epsilon-reachability, plus the border points
+// density-reachable from them; everything else is noise (label -1).
+
+#ifndef DBS_CLUSTER_DBSCAN_H_
+#define DBS_CLUSTER_DBSCAN_H_
+
+#include <cstdint>
+
+#include "cluster/clustering.h"
+#include "data/point_set.h"
+#include "util/status.h"
+
+namespace dbs::cluster {
+
+struct DbscanOptions {
+  // Neighborhood radius (L2).
+  double epsilon = 0.05;
+  // Minimum neighbors (including the point itself) to be a core point.
+  int min_points = 5;
+};
+
+// Clusters `points`; noise points get label -1 and belong to no cluster.
+// Cluster representatives are the cluster's core points, capped at
+// `max_representatives` chosen by the scattered-point heuristic (so the
+// eval::MatchClusters metric applies unchanged).
+Result<ClusteringResult> DbscanCluster(const data::PointSet& points,
+                                       const DbscanOptions& options,
+                                       int max_representatives = 10);
+
+}  // namespace dbs::cluster
+
+#endif  // DBS_CLUSTER_DBSCAN_H_

@@ -1,0 +1,187 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "data/distance.h"
+#include "util/rng.h"
+
+namespace dbs::cluster {
+namespace {
+
+// k-means++ seeding: first center weight-proportional, then each next
+// center with probability proportional to weight * D(x)^2.
+data::PointSet SeedCenters(const data::PointSet& points,
+                           const std::vector<double>& weights, int k,
+                           Rng& rng) {
+  const int64_t n = points.size();
+  const int dim = points.dim();
+  data::PointSet centers(dim);
+
+  auto weight_of = [&](int64_t i) {
+    return weights.empty() ? 1.0 : weights[static_cast<size_t>(i)];
+  };
+
+  // First center: weighted draw.
+  double total_w = 0.0;
+  for (int64_t i = 0; i < n; ++i) total_w += weight_of(i);
+  double r = rng.NextDouble() * total_w;
+  int64_t first = n - 1;
+  for (int64_t i = 0; i < n; ++i) {
+    r -= weight_of(i);
+    if (r <= 0) {
+      first = i;
+      break;
+    }
+  }
+  centers.Append(points[first]);
+
+  std::vector<double> min_d2(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    min_d2[i] = data::SquaredL2(points[i], points[first]);
+  }
+
+  while (centers.size() < k) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) total += weight_of(i) * min_d2[i];
+    int64_t pick = -1;
+    if (total > 0) {
+      double draw = rng.NextDouble() * total;
+      for (int64_t i = 0; i < n; ++i) {
+        draw -= weight_of(i) * min_d2[i];
+        if (draw <= 0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    if (pick < 0) {
+      // All points coincide with centers; duplicate an arbitrary point.
+      pick = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+    }
+    centers.Append(points[pick]);
+    for (int64_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i], data::SquaredL2(points[i],
+                                                      points[pick]));
+    }
+  }
+  return centers;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeansCluster(const data::PointSet& points,
+                                   const std::vector<double>& weights,
+                                   const KMeansOptions& options) {
+  const int64_t n = points.size();
+  const int dim = points.dim();
+  if (options.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("cannot cluster an empty point set");
+  }
+  if (!weights.empty()) {
+    if (static_cast<int64_t>(weights.size()) != n) {
+      return Status::InvalidArgument("weights size must match points");
+    }
+    for (double w : weights) {
+      if (!(w > 0)) {
+        return Status::InvalidArgument("weights must be positive");
+      }
+    }
+  }
+  const int k = static_cast<int>(std::min<int64_t>(options.num_clusters, n));
+
+  auto weight_of = [&](int64_t i) {
+    return weights.empty() ? 1.0 : weights[static_cast<size_t>(i)];
+  };
+
+  Rng rng(options.seed);
+  data::PointSet centers = SeedCenters(points, weights, k, rng);
+
+  std::vector<int32_t> labels(static_cast<size_t>(n), -1);
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  double inertia = 0.0;
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = false;
+    inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double best_d2 = std::numeric_limits<double>::infinity();
+      int32_t best = -1;
+      for (int c = 0; c < k; ++c) {
+        double d2 = data::SquaredL2(points[i], centers[c]);
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (labels[i] != best) {
+        labels[i] = best;
+        changed = true;
+      }
+      inertia += weight_of(i) * best_d2;
+    }
+
+    // Update step (weighted means).
+    std::vector<double> sums(static_cast<size_t>(k) * dim, 0.0);
+    std::vector<double> cluster_w(static_cast<size_t>(k), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      double w = weight_of(i);
+      cluster_w[labels[i]] += w;
+      double* s = sums.data() + static_cast<size_t>(labels[i]) * dim;
+      for (int j = 0; j < dim; ++j) s[j] += w * points[i][j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (cluster_w[c] > 0) {
+        double* dst = centers.MutableRow(c);
+        const double* s = sums.data() + static_cast<size_t>(c) * dim;
+        for (int j = 0; j < dim; ++j) dst[j] = s[j] / cluster_w[c];
+      } else {
+        // Empty cluster: reseed at the point farthest from its center.
+        int64_t far = 0;
+        double far_d2 = -1.0;
+        for (int64_t i = 0; i < n; ++i) {
+          double d2 = data::SquaredL2(points[i], centers[labels[i]]);
+          if (d2 > far_d2) {
+            far_d2 = d2;
+            far = i;
+          }
+        }
+        double* dst = centers.MutableRow(c);
+        for (int j = 0; j < dim; ++j) dst[j] = points[far][j];
+        changed = true;
+      }
+    }
+
+    if (!changed) break;
+    if (prev_inertia - inertia <
+        options.tolerance * std::max(prev_inertia, 1e-12)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+
+  KMeansResult result;
+  result.inertia = inertia;
+  result.iterations = iter;
+  result.clustering.labels = labels;
+  result.clustering.clusters.resize(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    result.clustering.clusters[c].centroid = centers[c].ToVector();
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    Cluster& cl = result.clustering.clusters[static_cast<size_t>(labels[i])];
+    cl.members.push_back(i);
+    cl.weight += weight_of(i);
+  }
+  return result;
+}
+
+}  // namespace dbs::cluster

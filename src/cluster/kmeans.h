@@ -1,0 +1,47 @@
+// Weighted Lloyd's k-means with k-means++ seeding.
+//
+// §3.1 of the paper: K-means optimizes a criterion that weights every data
+// point equally, so running it directly on a density-biased sample would
+// optimize the wrong objective. Weighting each sampled point by the inverse
+// of its inclusion probability (BiasedSample::Weights) restores an unbiased
+// estimate of the full-data objective. This implementation accepts those
+// per-point weights in both the seeding and the center updates; pass an
+// empty weight vector for plain unweighted k-means.
+
+#ifndef DBS_CLUSTER_KMEANS_H_
+#define DBS_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "data/point_set.h"
+#include "util/status.h"
+
+namespace dbs::cluster {
+
+struct KMeansOptions {
+  int num_clusters = 10;
+  int max_iterations = 100;
+  // Stop when no assignment changes or the weighted inertia improves by
+  // less than this relative amount.
+  double tolerance = 1e-6;
+  uint64_t seed = 1;
+};
+
+struct KMeansResult {
+  ClusteringResult clustering;
+  // Weighted sum of squared distances to assigned centers.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+// `weights` must be empty (all points weigh 1) or have one positive entry
+// per point.
+Result<KMeansResult> KMeansCluster(const data::PointSet& points,
+                                   const std::vector<double>& weights,
+                                   const KMeansOptions& options);
+
+}  // namespace dbs::cluster
+
+#endif  // DBS_CLUSTER_KMEANS_H_

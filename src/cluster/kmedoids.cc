@@ -1,0 +1,193 @@
+#include "cluster/kmedoids.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace dbs::cluster {
+namespace {
+
+// Weighted k-means++-style seeding over medoid candidates.
+std::vector<int64_t> SeedMedoids(const data::PointSet& points,
+                                 const std::vector<double>& weights, int k,
+                                 data::Metric metric, Rng& rng) {
+  const int64_t n = points.size();
+  auto weight_of = [&](int64_t i) {
+    return weights.empty() ? 1.0 : weights[static_cast<size_t>(i)];
+  };
+
+  std::vector<int64_t> medoids;
+  double total_w = 0.0;
+  for (int64_t i = 0; i < n; ++i) total_w += weight_of(i);
+  double r = rng.NextDouble() * total_w;
+  int64_t first = n - 1;
+  for (int64_t i = 0; i < n; ++i) {
+    r -= weight_of(i);
+    if (r <= 0) {
+      first = i;
+      break;
+    }
+  }
+  medoids.push_back(first);
+
+  std::vector<double> min_d(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    min_d[i] = data::Distance(points[i], points[first], metric);
+  }
+  while (static_cast<int>(medoids.size()) < k) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) total += weight_of(i) * min_d[i];
+    int64_t pick = -1;
+    if (total > 0) {
+      double draw = rng.NextDouble() * total;
+      for (int64_t i = 0; i < n; ++i) {
+        draw -= weight_of(i) * min_d[i];
+        if (draw <= 0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    if (pick < 0) {
+      pick = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(n)));
+    }
+    medoids.push_back(pick);
+    for (int64_t i = 0; i < n; ++i) {
+      min_d[i] = std::min(
+          min_d[i], data::Distance(points[i], points[pick], metric));
+    }
+  }
+  return medoids;
+}
+
+}  // namespace
+
+Result<KMedoidsResult> KMedoidsCluster(const data::PointSet& points,
+                                       const std::vector<double>& weights,
+                                       const KMedoidsOptions& options) {
+  const int64_t n = points.size();
+  if (options.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("cannot cluster an empty point set");
+  }
+  if (!weights.empty()) {
+    if (static_cast<int64_t>(weights.size()) != n) {
+      return Status::InvalidArgument("weights size must match points");
+    }
+    for (double w : weights) {
+      if (!(w > 0)) {
+        return Status::InvalidArgument("weights must be positive");
+      }
+    }
+  }
+  const int k = static_cast<int>(std::min<int64_t>(options.num_clusters, n));
+  auto weight_of = [&](int64_t i) {
+    return weights.empty() ? 1.0 : weights[static_cast<size_t>(i)];
+  };
+
+  Rng rng(options.seed);
+  std::vector<int64_t> medoids =
+      SeedMedoids(points, weights, k, options.metric, rng);
+  std::vector<int32_t> labels(static_cast<size_t>(n), -1);
+
+  double cost = 0.0;
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Assignment.
+    bool changed = false;
+    cost = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double best_d = std::numeric_limits<double>::infinity();
+      int32_t best = -1;
+      for (int c = 0; c < k; ++c) {
+        double d = data::Distance(points[i], points[medoids[c]],
+                                  options.metric);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (labels[i] != best) {
+        labels[i] = best;
+        changed = true;
+      }
+      cost += weight_of(i) * best_d;
+    }
+
+    // Medoid update: within each cluster, the member minimizing the
+    // weighted distance sum becomes the new medoid.
+    std::vector<std::vector<int64_t>> members(static_cast<size_t>(k));
+    for (int64_t i = 0; i < n; ++i) {
+      members[static_cast<size_t>(labels[i])].push_back(i);
+    }
+    bool moved = false;
+    for (int c = 0; c < k; ++c) {
+      const std::vector<int64_t>& m = members[static_cast<size_t>(c)];
+      if (m.empty()) {
+        // Re-seed an empty cluster at the globally worst-served point.
+        int64_t far = 0;
+        double far_d = -1.0;
+        for (int64_t i = 0; i < n; ++i) {
+          double d = data::Distance(points[i], points[medoids[labels[i]]],
+                                    options.metric);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        medoids[c] = far;
+        moved = true;
+        continue;
+      }
+      double best_sum = std::numeric_limits<double>::infinity();
+      int64_t best_medoid = medoids[c];
+      for (int64_t candidate : m) {
+        double sum = 0.0;
+        for (int64_t other : m) {
+          sum += weight_of(other) *
+                 data::Distance(points[candidate], points[other],
+                                options.metric);
+          if (sum >= best_sum) break;
+        }
+        if (sum < best_sum) {
+          best_sum = sum;
+          best_medoid = candidate;
+        }
+      }
+      if (best_medoid != medoids[c]) {
+        medoids[c] = best_medoid;
+        moved = true;
+      }
+    }
+    if (!changed && !moved) break;
+  }
+
+  KMedoidsResult result;
+  result.cost = cost;
+  result.iterations = iter;
+  result.medoid_indices = medoids;
+  result.clustering.labels = labels;
+  result.clustering.clusters.resize(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    Cluster& cluster = result.clustering.clusters[static_cast<size_t>(c)];
+    cluster.centroid = points[medoids[c]].ToVector();
+    cluster.representatives = data::PointSet(points.dim());
+    cluster.representatives.Append(points[medoids[c]]);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    Cluster& cluster =
+        result.clustering.clusters[static_cast<size_t>(labels[i])];
+    cluster.members.push_back(i);
+    cluster.weight += weight_of(i);
+  }
+  return result;
+}
+
+}  // namespace dbs::cluster

@@ -1,0 +1,52 @@
+// Weighted k-medoids (PAM-style) clustering.
+//
+// §3.1 discusses running K-medoids on a density-biased sample: like
+// K-means it optimizes a per-point criterion, so the sample points must be
+// weighted by inverse inclusion probability to estimate the full-data
+// objective. Medoids are actual data points, which makes the result robust
+// to outliers in the sample and directly reportable.
+//
+// The implementation seeds with weighted k-means++ and then alternates
+// assignment with an exact per-cluster medoid update (the O(m^2) variant
+// of PAM's swap phase restricted to within-cluster swaps — the standard
+// "alternating" k-medoids). Intended for samples of a few thousand points,
+// which is exactly the regime biased sampling produces.
+
+#ifndef DBS_CLUSTER_KMEDOIDS_H_
+#define DBS_CLUSTER_KMEDOIDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "data/distance.h"
+#include "data/point_set.h"
+#include "util/status.h"
+
+namespace dbs::cluster {
+
+struct KMedoidsOptions {
+  int num_clusters = 10;
+  int max_iterations = 50;
+  data::Metric metric = data::Metric::kL2;
+  uint64_t seed = 1;
+};
+
+struct KMedoidsResult {
+  ClusteringResult clustering;
+  // Indices (into the input point set) of the final medoids, parallel to
+  // clustering.clusters.
+  std::vector<int64_t> medoid_indices;
+  // Weighted sum of distances to assigned medoids.
+  double cost = 0.0;
+  int iterations = 0;
+};
+
+// `weights` empty (all 1) or one positive entry per point.
+Result<KMedoidsResult> KMedoidsCluster(const data::PointSet& points,
+                                       const std::vector<double>& weights,
+                                       const KMedoidsOptions& options);
+
+}  // namespace dbs::cluster
+
+#endif  // DBS_CLUSTER_KMEDOIDS_H_

@@ -1,0 +1,133 @@
+#include "core/biased_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dbs::core {
+
+BiasedSampler::BiasedSampler(const BiasedSamplerOptions& options)
+    : options_(options) {}
+
+double BiasedSampler::FlooredDensityPow(double f, double floor) const {
+  return SafePow(std::max(f, floor), options_.a);
+}
+
+double BiasedSampler::InclusionProbability(double density,
+                                           double normalizer) const {
+  if (normalizer <= 0) return 0.0;
+  double fa = SafePow(density, options_.a);
+  return std::min(1.0, static_cast<double>(options_.target_size) /
+                           normalizer * fa);
+}
+
+Result<BiasedSample> BiasedSampler::Run(
+    data::DataScan& scan, const density::DensityEstimator& estimator) const {
+  if (options_.target_size <= 0) {
+    return Status::InvalidArgument("target_size must be positive");
+  }
+  if (scan.dim() != estimator.dim()) {
+    return Status::InvalidArgument(
+        "estimator dimensionality does not match the scan");
+  }
+  const int64_t n = scan.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot sample an empty dataset");
+  }
+
+  // Pass 1: exact normalizer k_a = sum over points of f'(x).
+  const int dim = scan.dim();
+  const double floor =
+      options_.density_floor_fraction * estimator.AverageDensity();
+  double k_a = 0.0;
+  scan.Reset();
+  data::ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      k_a += FlooredDensityPow(estimator.Evaluate(batch.point(i, dim)),
+                               floor);
+    }
+  }
+  if (k_a <= 0) {
+    return Status::Internal("normalizer k_a is not positive");
+  }
+  return SampleWithNormalizer(scan, estimator, k_a);
+}
+
+Result<BiasedSample> BiasedSampler::Run(
+    const data::PointSet& points,
+    const density::DensityEstimator& estimator) const {
+  data::InMemoryScan scan(&points);
+  return Run(scan, estimator);
+}
+
+Result<BiasedSample> BiasedSampler::RunOnePass(data::DataScan& scan,
+                                               const density::Kde& kde) const {
+  if (options_.target_size <= 0) {
+    return Status::InvalidArgument("target_size must be positive");
+  }
+  if (scan.dim() != kde.dim()) {
+    return Status::InvalidArgument(
+        "estimator dimensionality does not match the scan");
+  }
+  const int64_t n = scan.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot sample an empty dataset");
+  }
+  // Kernel centers are a uniform sample of the data, so the sample mean of
+  // f^a over them estimates E_D[f^a] and k_a ~= n * E_D[f^a]. No dataset
+  // pass is spent on normalization.
+  double k_a = static_cast<double>(n) * kde.MeanDensityPow(options_.a);
+  if (k_a <= 0) {
+    return Status::Internal("estimated normalizer k_a is not positive");
+  }
+  return SampleWithNormalizer(scan, kde, k_a);
+}
+
+Result<BiasedSample> BiasedSampler::RunOnePass(const data::PointSet& points,
+                                               const density::Kde& kde) const {
+  data::InMemoryScan scan(&points);
+  return RunOnePass(scan, kde);
+}
+
+Result<BiasedSample> BiasedSampler::SampleWithNormalizer(
+    data::DataScan& scan, const density::DensityEstimator& estimator,
+    double normalizer) const {
+  const int dim = scan.dim();
+  const int64_t n = scan.size();
+  const double b = static_cast<double>(options_.target_size);
+  const double floor =
+      options_.density_floor_fraction * estimator.AverageDensity();
+
+  BiasedSample sample;
+  sample.points = data::PointSet(dim);
+  sample.normalizer = normalizer;
+  sample.dataset_size = n;
+  sample.points.Reserve(options_.target_size + options_.target_size / 4);
+
+  Rng rng(options_.seed);
+  scan.Reset();
+  data::ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      data::PointView x = batch.point(i, dim);
+      double f = estimator.Evaluate(x);
+      double fa = FlooredDensityPow(f, floor);
+      double p = b / normalizer * fa;
+      if (p >= 1.0) {
+        p = 1.0;
+        ++sample.clamped_count;
+      }
+      if (rng.NextBernoulli(p)) {
+        sample.points.Append(x);
+        sample.inclusion_probs.push_back(p);
+        sample.densities.push_back(f);
+      }
+    }
+  }
+  return sample;
+}
+
+}  // namespace dbs::core

@@ -1,0 +1,73 @@
+#include "core/grid_biased_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+#include "util/rng.h"
+
+namespace dbs::core {
+
+GridBiasedSampler::GridBiasedSampler(const GridBiasedSamplerOptions& options)
+    : options_(options) {}
+
+Result<BiasedSample> GridBiasedSampler::Run(
+    data::DataScan& scan, const density::GridDensity& grid) const {
+  if (options_.target_size <= 0) {
+    return Status::InvalidArgument("target_size must be positive");
+  }
+  if (scan.dim() != grid.dim()) {
+    return Status::InvalidArgument(
+        "grid dimensionality does not match the scan");
+  }
+  const int64_t n = scan.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot sample an empty dataset");
+  }
+  const double norm = grid.SumCountPow(options_.e);
+  if (norm <= 0) {
+    return Status::Internal("grid normalizer is not positive");
+  }
+  const double b = static_cast<double>(options_.target_size);
+  const int dim = scan.dim();
+
+  BiasedSample sample;
+  sample.points = data::PointSet(dim);
+  sample.normalizer = norm;
+  sample.dataset_size = n;
+  sample.points.Reserve(options_.target_size + options_.target_size / 4);
+
+  Rng rng(options_.seed);
+  scan.Reset();
+  data::ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      data::PointView x = batch.point(i, dim);
+      int64_t count = grid.CellCount(x);
+      // Every scanned point was counted during Fit, so its cell count is at
+      // least 1 when the same data is scanned; guard anyway for robustness
+      // to mismatched scans.
+      if (count <= 0) continue;
+      double p = b * SafePow(static_cast<double>(count), options_.e - 1.0) /
+                 norm;
+      if (p >= 1.0) {
+        p = 1.0;
+        ++sample.clamped_count;
+      }
+      if (rng.NextBernoulli(p)) {
+        sample.points.Append(x);
+        sample.inclusion_probs.push_back(p);
+        sample.densities.push_back(grid.Evaluate(x));
+      }
+    }
+  }
+  return sample;
+}
+
+Result<BiasedSample> GridBiasedSampler::Run(
+    const data::PointSet& points, const density::GridDensity& grid) const {
+  data::InMemoryScan scan(&points);
+  return Run(scan, grid);
+}
+
+}  // namespace dbs::core

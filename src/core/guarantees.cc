@@ -1,0 +1,131 @@
+#include "core/guarantees.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dbs::core {
+namespace {
+
+double LogBinomialCoefficient(int64_t n, int64_t k) {
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+}  // namespace
+
+double GuhaUniformSampleSize(int64_t n, int64_t cluster_size, double xi,
+                             double delta) {
+  DBS_CHECK(n > 0 && cluster_size > 0 && cluster_size <= n);
+  DBS_CHECK(xi >= 0 && xi <= 1);
+  DBS_CHECK(delta > 0 && delta < 1);
+  double dn = static_cast<double>(n);
+  double du = static_cast<double>(cluster_size);
+  double log_term = std::log(1.0 / delta);
+  return xi * dn + dn / du * log_term +
+         dn / du *
+             std::sqrt(log_term * log_term + 2.0 * xi * du * log_term);
+}
+
+double BinomialTailGE(int64_t k_min, int64_t trials, double p) {
+  DBS_CHECK(trials >= 0);
+  if (k_min <= 0) return 1.0;
+  if (k_min > trials) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  double log_p = std::log(p);
+  double log_q = std::log1p(-p);
+  // Sum the smaller tail in log space for stability, then complement if
+  // needed.
+  double mean = static_cast<double>(trials) * p;
+  bool sum_upper = static_cast<double>(k_min) > mean;
+  double total = 0.0;
+  if (sum_upper) {
+    for (int64_t k = k_min; k <= trials; ++k) {
+      double log_term = LogBinomialCoefficient(trials, k) +
+                        static_cast<double>(k) * log_p +
+                        static_cast<double>(trials - k) * log_q;
+      total += std::exp(log_term);
+    }
+    return std::min(total, 1.0);
+  }
+  for (int64_t k = 0; k < k_min; ++k) {
+    double log_term = LogBinomialCoefficient(trials, k) +
+                      static_cast<double>(k) * log_p +
+                      static_cast<double>(trials - k) * log_q;
+    total += std::exp(log_term);
+  }
+  return std::max(0.0, 1.0 - std::min(total, 1.0));
+}
+
+double UniformCaptureProbability(int64_t n, int64_t cluster_size, double xi,
+                                 double sample_size) {
+  DBS_CHECK(n > 0 && cluster_size > 0 && cluster_size <= n);
+  double rate = std::min(1.0, sample_size / static_cast<double>(n));
+  int64_t k_min = static_cast<int64_t>(
+      std::ceil(xi * static_cast<double>(cluster_size)));
+  return BinomialTailGE(k_min, cluster_size, rate);
+}
+
+double MinUniformSampleSize(int64_t n, int64_t cluster_size, double xi,
+                            double delta) {
+  DBS_CHECK(delta > 0 && delta < 1);
+  double lo = 0.0;
+  double hi = static_cast<double>(n);
+  // Capture probability is monotone nondecreasing in the sample size.
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (UniformCaptureProbability(n, cluster_size, xi, mid) >= 1.0 - delta) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double BiasedCaptureProbability(int64_t cluster_size, double xi, double p) {
+  int64_t k_min = static_cast<int64_t>(
+      std::ceil(xi * static_cast<double>(cluster_size)));
+  return BinomialTailGE(k_min, cluster_size, p);
+}
+
+double MinBiasedInclusionProbability(int64_t cluster_size, double xi,
+                                     double delta) {
+  DBS_CHECK(delta > 0 && delta < 1);
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (BiasedCaptureProbability(cluster_size, xi, mid) >= 1.0 - delta) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double BiasedRuleExpectedSampleSize(int64_t n, int64_t cluster_size, double p,
+                                    double out_rate) {
+  DBS_CHECK(n > 0 && cluster_size > 0 && cluster_size <= n);
+  return p * static_cast<double>(cluster_size) +
+         out_rate * static_cast<double>(n - cluster_size);
+}
+
+double RuleRCrossoverP(int64_t n, int64_t cluster_size,
+                       double uniform_sample_size) {
+  DBS_CHECK(n > 0 && cluster_size > 0 && cluster_size <= n);
+  // Solve p*u + (1-p)*(n-u) <= s for p. The left side decreases in p when
+  // n > 2u; otherwise the rule cannot undercut s for s < u.
+  double du = static_cast<double>(cluster_size);
+  double dn = static_cast<double>(n);
+  double denom = dn - 2.0 * du;
+  if (denom <= 0) return 1.0;
+  double p = (dn - du - uniform_sample_size) / denom;
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace dbs::core

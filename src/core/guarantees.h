@@ -1,0 +1,69 @@
+// Sample-size calculus for cluster preservation (paper §1.1 and Theorem 1).
+//
+// A cluster u "is included" in a sample when at least xi*|u| of its points
+// survive into the sample (0 <= xi <= 1). Guha et al. give a Chernoff-style
+// bound on the uniform sample size s needed to make the failure probability
+// at most delta:
+//
+//   s >= xi*n + (n/|u|)*log(1/delta)
+//          + (n/|u|)*sqrt(log(1/delta)^2 + 2*xi*|u|*log(1/delta)).
+//
+// The worked example in §1.1: capture xi=0.2 of a |u|=1000 cluster with 90%
+// confidence -> 25% of the dataset must be sampled, whatever n is.
+//
+// Theorem 1 contrasts this with the biased rule R (include cluster points
+// with probability p, others with probability 1-p): biased sampling needs a
+// smaller sample exactly when p >= |u|/n. The functions below provide the
+// paper's closed-form bound, the exact binomial machinery to evaluate both
+// schemes without the bound's slack, and the rule-R bookkeeping the
+// theorem-1 bench table uses.
+
+#ifndef DBS_CORE_GUARANTEES_H_
+#define DBS_CORE_GUARANTEES_H_
+
+#include <cstdint>
+
+namespace dbs::core {
+
+// Guha et al.'s closed-form uniform sample size (the formula above).
+double GuhaUniformSampleSize(int64_t n, int64_t cluster_size, double xi,
+                             double delta);
+
+// Exact P[Binomial(trials, p) >= k_min], computed in log space.
+double BinomialTailGE(int64_t k_min, int64_t trials, double p);
+
+// Probability that Bernoulli-rate uniform sampling of expected size s from
+// a dataset of n captures >= xi*|u| points of cluster u. (Each cluster
+// point survives independently with probability s/n.)
+double UniformCaptureProbability(int64_t n, int64_t cluster_size, double xi,
+                                 double sample_size);
+
+// Smallest expected uniform sample size whose capture probability reaches
+// 1 - delta (exact, by binary search; always <= the Guha bound).
+double MinUniformSampleSize(int64_t n, int64_t cluster_size, double xi,
+                            double delta);
+
+// Probability that rule R (cluster points kept with probability p) captures
+// >= xi*|u| cluster points: P[Binomial(|u|, p) >= ceil(xi*|u|)].
+double BiasedCaptureProbability(int64_t cluster_size, double xi, double p);
+
+// Smallest p for which BiasedCaptureProbability reaches 1 - delta.
+double MinBiasedInclusionProbability(int64_t cluster_size, double xi,
+                                     double delta);
+
+// Expected sample size of rule R: p*|u| + out_rate*(n - |u|). Theorem 1's
+// rule uses out_rate = 1 - p; practical density-biased sampling drives
+// out_rate far lower, which is where the savings come from.
+double BiasedRuleExpectedSampleSize(int64_t n, int64_t cluster_size, double p,
+                                    double out_rate);
+
+// Under the literal theorem-1 rule (out_rate = 1 - p), the smallest p at
+// which the rule's expected sample size drops to `uniform_sample_size`.
+// Requires n > 2*|u| (otherwise the rule can never be smaller and the
+// function returns 1).
+double RuleRCrossoverP(int64_t n, int64_t cluster_size,
+                       double uniform_sample_size);
+
+}  // namespace dbs::core
+
+#endif  // DBS_CORE_GUARANTEES_H_

@@ -1,0 +1,25 @@
+#include "core/sample.h"
+
+#include "util/check.h"
+
+namespace dbs::core {
+
+std::vector<double> BiasedSample::Weights() const {
+  std::vector<double> weights;
+  weights.reserve(inclusion_probs.size());
+  for (double p : inclusion_probs) {
+    DBS_CHECK_MSG(p > 0, "sampled point must have positive inclusion prob");
+    weights.push_back(1.0 / p);
+  }
+  return weights;
+}
+
+double BiasedSample::EstimatedDatasetSize() const {
+  double sum = 0.0;
+  for (double p : inclusion_probs) {
+    if (p > 0) sum += 1.0 / p;
+  }
+  return sum;
+}
+
+}  // namespace dbs::core

@@ -1,0 +1,58 @@
+#include "core/tuning.h"
+
+#include <algorithm>
+
+namespace dbs::core {
+
+double RecommendedExponent(SamplingGoal goal) {
+  switch (goal) {
+    case SamplingGoal::kDenseClustersUnderNoise:
+      return 1.0;
+    case SamplingGoal::kDenseClustersLightNoise:
+      return 0.5;
+    case SamplingGoal::kSmallSparseClusters:
+      return -0.5;
+    case SamplingGoal::kMixedDensityClusters:
+      return -0.25;
+    case SamplingGoal::kFlattenDensity:
+      return -1.0;
+    case SamplingGoal::kUniform:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+int64_t RecommendedNumKernels() { return 1000; }
+
+double RecommendedSampleFraction() { return 0.01; }
+
+BiasedSamplerOptions RecommendedOptions(SamplingGoal goal,
+                                        int64_t dataset_size, uint64_t seed) {
+  BiasedSamplerOptions options;
+  options.a = RecommendedExponent(goal);
+  options.target_size = std::max<int64_t>(
+      500, static_cast<int64_t>(RecommendedSampleFraction() *
+                                static_cast<double>(dataset_size)));
+  options.seed = seed;
+  return options;
+}
+
+const char* SamplingGoalName(SamplingGoal goal) {
+  switch (goal) {
+    case SamplingGoal::kDenseClustersUnderNoise:
+      return "dense-clusters-under-noise";
+    case SamplingGoal::kDenseClustersLightNoise:
+      return "dense-clusters-light-noise";
+    case SamplingGoal::kSmallSparseClusters:
+      return "small-sparse-clusters";
+    case SamplingGoal::kMixedDensityClusters:
+      return "mixed-density-clusters";
+    case SamplingGoal::kFlattenDensity:
+      return "flatten-density";
+    case SamplingGoal::kUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
+}  // namespace dbs::core

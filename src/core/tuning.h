@@ -1,0 +1,53 @@
+// Practitioner's-guide presets (paper §4.4).
+//
+// The experimental evaluation distills into a handful of defaults; this
+// header encodes them so applications can ask for a configuration by intent
+// instead of hand-picking exponents.
+
+#ifndef DBS_CORE_TUNING_H_
+#define DBS_CORE_TUNING_H_
+
+#include <cstdint>
+
+#include "core/biased_sampler.h"
+
+namespace dbs::core {
+
+enum class SamplingGoal {
+  // Dense clusters under heavy noise: oversample dense regions (a = 1).
+  kDenseClustersUnderNoise = 0,
+  // Moderate noise: a = 0.5 still favors dense regions but keeps more of
+  // the mid-density mass (paper Fig 6).
+  kDenseClustersLightNoise,
+  // Very small or sparse clusters, little noise expected: a = -0.5.
+  kSmallSparseClusters,
+  // Clusters of mixed densities with some noise: a = -0.25 balances both.
+  kMixedDensityClusters,
+  // Equal expected mass everywhere (a = -1): flattens the density.
+  kFlattenDensity,
+  // Degenerate to uniform sampling (a = 0).
+  kUniform,
+};
+
+// The exponent §4 found best for each goal.
+double RecommendedExponent(SamplingGoal goal);
+
+// §4.4: 1000 kernels estimate the density accurately across the evaluated
+// datasets.
+int64_t RecommendedNumKernels();
+
+// §4.4: a biased sample of 1% of the dataset balances accuracy and cost.
+double RecommendedSampleFraction();
+
+// Assembles full sampler options for a goal over a dataset of size n (the
+// target size is the recommended fraction, floored at 500 points so tiny
+// datasets still produce usable samples).
+BiasedSamplerOptions RecommendedOptions(SamplingGoal goal, int64_t dataset_size,
+                                        uint64_t seed);
+
+// Short human-readable label for reports.
+const char* SamplingGoalName(SamplingGoal goal);
+
+}  // namespace dbs::core
+
+#endif  // DBS_CORE_TUNING_H_

@@ -1,0 +1,87 @@
+// Axis-aligned bounding boxes and the [0,1]^d scaler.
+//
+// The sampling technique assumes the data domain is the unit cube (paper
+// §2.2, "otherwise we can scale the attributes"); UnitScaler performs that
+// affine rescaling and its inverse, and is fitted in the same pass that
+// collects kernel centers.
+
+#ifndef DBS_DATA_BOUNDS_H_
+#define DBS_DATA_BOUNDS_H_
+
+#include <vector>
+
+#include "data/point_set.h"
+
+namespace dbs::data {
+
+// Axis-aligned box [lo_j, hi_j] per dimension.
+class BoundingBox {
+ public:
+  BoundingBox() = default;
+  explicit BoundingBox(int dim);
+  BoundingBox(std::vector<double> lo, std::vector<double> hi);
+
+  int dim() const { return static_cast<int>(lo_.size()); }
+  bool empty() const { return count_ == 0; }
+
+  // Expands the box to cover p.
+  void Extend(PointView p);
+
+  // Expands the box to cover another box.
+  void Extend(const BoundingBox& other);
+
+  // True if p lies inside the closed box.
+  bool Contains(PointView p) const;
+
+  // True if p lies inside the box shrunk by `margin` on every side — the
+  // "interior" test used by the cluster-found evaluation metric.
+  bool ContainsInterior(PointView p, double margin) const;
+
+  double lo(int j) const { return lo_[j]; }
+  double hi(int j) const { return hi_[j]; }
+  double extent(int j) const { return hi_[j] - lo_[j]; }
+
+  // Product of extents; 0 for an empty box.
+  double Volume() const;
+
+  const std::vector<double>& lo() const { return lo_; }
+  const std::vector<double>& hi() const { return hi_; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  int64_t count_ = 0;
+};
+
+// Affine map of a bounding box onto [0,1]^d. Degenerate dimensions (zero
+// extent) map to 0.5.
+class UnitScaler {
+ public:
+  UnitScaler() = default;
+  explicit UnitScaler(const BoundingBox& box);
+
+  // Fits the scaler to cover all points of `points`.
+  static UnitScaler Fit(const PointSet& points);
+
+  int dim() const { return static_cast<int>(offset_.size()); }
+
+  // Writes the scaled image of p into out[0..d).
+  void Transform(PointView p, double* out) const;
+
+  // Scales every point; returns a new set in unit coordinates.
+  PointSet TransformAll(const PointSet& points) const;
+
+  // Maps a unit-cube point back to the original domain.
+  void Inverse(PointView p, double* out) const;
+
+  // Scales a length along dimension j (for transforming radii per axis).
+  double ScaleLength(int j, double len) const { return len * scale_[j]; }
+
+ private:
+  std::vector<double> offset_;
+  std::vector<double> scale_;
+};
+
+}  // namespace dbs::data
+
+#endif  // DBS_DATA_BOUNDS_H_

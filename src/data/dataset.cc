@@ -1,0 +1,43 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace dbs::data {
+
+InMemoryScan::InMemoryScan(const PointSet* points, int64_t batch_rows)
+    : points_(points), batch_rows_(batch_rows) {
+  DBS_CHECK(points != nullptr);
+  DBS_CHECK(batch_rows > 0);
+}
+
+void InMemoryScan::Reset() {
+  cursor_ = 0;
+  started_ = true;
+  BumpPass();
+}
+
+bool InMemoryScan::NextBatch(ScanBatch* batch) {
+  DBS_CHECK_MSG(started_, "Reset() must be called before NextBatch()");
+  if (cursor_ >= points_->size()) return false;
+  int64_t count = std::min(batch_rows_, points_->size() - cursor_);
+  batch->rows = points_->flat().data() +
+                cursor_ * static_cast<int64_t>(points_->dim());
+  batch->count = count;
+  cursor_ += count;
+  return true;
+}
+
+Result<PointSet> ReadAll(DataScan& scan) {
+  PointSet out(scan.dim());
+  out.Reserve(scan.size());
+  scan.Reset();
+  ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      out.Append(batch.point(i, scan.dim()));
+    }
+  }
+  return out;
+}
+
+}  // namespace dbs::data

@@ -1,0 +1,83 @@
+// Multi-pass dataset scanning.
+//
+// The paper's efficiency claims are phrased in dataset passes (one pass to
+// build the estimator, one or two more to sample / verify). DataScan is the
+// abstraction those pass counts are measured against: a resettable forward
+// scan that yields batches of rows. InMemoryScan adapts a PointSet;
+// FileScan (dataset_io.h) streams the binary on-disk format. Every Reset()
+// after the first increments passes(), so experiments can report exactly how
+// many times the data was read.
+
+#ifndef DBS_DATA_DATASET_H_
+#define DBS_DATA_DATASET_H_
+
+#include <cstdint>
+
+#include "data/point_set.h"
+#include "util/status.h"
+
+namespace dbs::data {
+
+// A batch of rows handed out by a scan. Points are valid until the next
+// NextBatch/Reset call on the owning scan.
+struct ScanBatch {
+  const double* rows = nullptr;  // row-major, count * dim doubles
+  int64_t count = 0;
+
+  PointView point(int64_t i, int dim) const {
+    DBS_DCHECK(i >= 0 && i < count);
+    return PointView(rows + i * dim, dim);
+  }
+};
+
+// Resettable forward scan over a dataset.
+class DataScan {
+ public:
+  virtual ~DataScan() = default;
+
+  virtual int dim() const = 0;
+
+  // Total number of rows, when known up-front (file and in-memory scans
+  // always know it; the value is needed by Bernoulli samplers).
+  virtual int64_t size() const = 0;
+
+  // Rewinds to the beginning. The first call (before any NextBatch) starts
+  // pass 1; each later call starts a new pass.
+  virtual void Reset() = 0;
+
+  // Fills `batch` with the next chunk of rows; returns false at end of scan.
+  virtual bool NextBatch(ScanBatch* batch) = 0;
+
+  // Number of passes started so far.
+  int passes() const { return passes_; }
+
+ protected:
+  void BumpPass() { ++passes_; }
+
+ private:
+  int passes_ = 0;
+};
+
+// Scan over an in-memory PointSet (not owned; must outlive the scan).
+class InMemoryScan : public DataScan {
+ public:
+  explicit InMemoryScan(const PointSet* points, int64_t batch_rows = 4096);
+
+  int dim() const override { return points_->dim(); }
+  int64_t size() const override { return points_->size(); }
+  void Reset() override;
+  bool NextBatch(ScanBatch* batch) override;
+
+ private:
+  const PointSet* points_;
+  int64_t batch_rows_;
+  int64_t cursor_ = 0;
+  bool started_ = false;
+};
+
+// Reads the entire scan into a PointSet (one pass).
+Result<PointSet> ReadAll(DataScan& scan);
+
+}  // namespace dbs::data
+
+#endif  // DBS_DATA_DATASET_H_

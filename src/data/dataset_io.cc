@@ -1,0 +1,122 @@
+#include "data/dataset_io.h"
+
+#include <cstring>
+
+namespace dbs::data {
+namespace {
+
+struct FileHeader {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t dim;
+  uint32_t reserved;
+  int64_t rows;
+  int64_t reserved2;
+};
+static_assert(sizeof(FileHeader) == 32, "header must be 32 bytes");
+
+}  // namespace
+
+Status WriteDatasetFile(const std::string& path, const PointSet& points) {
+  if (points.dim() <= 0) {
+    return Status::InvalidArgument("cannot write a dimensionless point set");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  FileHeader header{};
+  header.magic = kDatasetMagic;
+  header.version = kDatasetVersion;
+  header.dim = static_cast<uint32_t>(points.dim());
+  header.rows = points.size();
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  if (ok && !points.flat().empty()) {
+    ok = std::fwrite(points.flat().data(), sizeof(double),
+                     points.flat().size(), f) == points.flat().size();
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+Result<PointSet> ReadDatasetFile(const std::string& path) {
+  DBS_ASSIGN_OR_RETURN(auto scan, FileScan::Open(path));
+  return ReadAll(*scan);
+}
+
+Result<std::unique_ptr<FileScan>> FileScan::Open(const std::string& path,
+                                                 int64_t batch_rows) {
+  if (batch_rows <= 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  FileHeader header{};
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IoError("truncated header: " + path);
+  }
+  if (header.magic != kDatasetMagic) {
+    std::fclose(f);
+    return Status::InvalidArgument("not a .dbsf file: " + path);
+  }
+  if (header.version != kDatasetVersion) {
+    std::fclose(f);
+    return Status::InvalidArgument("unsupported .dbsf version");
+  }
+  if (header.dim == 0 || header.dim > 4096 || header.rows < 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("corrupt .dbsf header");
+  }
+  // The payload the header promises must actually be present; otherwise a
+  // corrupted/truncated file would abort mid-scan or provoke a huge
+  // allocation from a garbage row count.
+  std::fseek(f, 0, SEEK_END);
+  long actual_bytes = std::ftell(f);
+  std::fseek(f, sizeof(FileHeader), SEEK_SET);
+  double expected_bytes =
+      static_cast<double>(sizeof(FileHeader)) +
+      static_cast<double>(header.rows) * header.dim * sizeof(double);
+  if (actual_bytes < 0 || static_cast<double>(actual_bytes) < expected_bytes) {
+    std::fclose(f);
+    return Status::InvalidArgument(
+        "dataset file is shorter than its header claims: " + path);
+  }
+  return std::unique_ptr<FileScan>(
+      new FileScan(f, static_cast<int>(header.dim), header.rows, batch_rows));
+}
+
+FileScan::FileScan(std::FILE* file, int dim, int64_t rows, int64_t batch_rows)
+    : file_(file), dim_(dim), rows_(rows), batch_rows_(batch_rows) {
+  buffer_.resize(static_cast<size_t>(batch_rows_) * dim_);
+}
+
+FileScan::~FileScan() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileScan::Reset() {
+  std::fseek(file_, sizeof(FileHeader), SEEK_SET);
+  cursor_ = 0;
+  started_ = true;
+  BumpPass();
+}
+
+bool FileScan::NextBatch(ScanBatch* batch) {
+  DBS_CHECK_MSG(started_, "Reset() must be called before NextBatch()");
+  if (cursor_ >= rows_) return false;
+  int64_t want = std::min(batch_rows_, rows_ - cursor_);
+  size_t got = std::fread(buffer_.data(), sizeof(double) * dim_,
+                          static_cast<size_t>(want), file_);
+  DBS_CHECK_MSG(got == static_cast<size_t>(want),
+                "dataset file shorter than its header claims");
+  batch->rows = buffer_.data();
+  batch->count = want;
+  cursor_ += want;
+  return true;
+}
+
+}  // namespace dbs::data

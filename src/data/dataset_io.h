@@ -1,0 +1,62 @@
+// Binary on-disk dataset format (.dbsf) and the streaming FileScan.
+//
+// Layout: a fixed 32-byte header (magic, version, dim, row count) followed
+// by row-major float64 coordinates. The format exists so the multi-pass
+// samplers can be exercised against genuinely out-of-core data: FileScan
+// reads fixed-size batches and never materializes the dataset.
+
+#ifndef DBS_DATA_DATASET_IO_H_
+#define DBS_DATA_DATASET_IO_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/point_set.h"
+#include "util/status.h"
+
+namespace dbs::data {
+
+inline constexpr uint32_t kDatasetMagic = 0x46534244;  // "DBSF" little-endian
+inline constexpr uint32_t kDatasetVersion = 1;
+
+// Writes `points` to `path` in .dbsf format, overwriting any existing file.
+Status WriteDatasetFile(const std::string& path, const PointSet& points);
+
+// Reads a whole .dbsf file into memory.
+Result<PointSet> ReadDatasetFile(const std::string& path);
+
+// Streaming scan over a .dbsf file. Owns the file handle.
+class FileScan : public DataScan {
+ public:
+  // Opens `path`, validating the header.
+  static Result<std::unique_ptr<FileScan>> Open(const std::string& path,
+                                                int64_t batch_rows = 4096);
+
+  ~FileScan() override;
+
+  FileScan(const FileScan&) = delete;
+  FileScan& operator=(const FileScan&) = delete;
+
+  int dim() const override { return dim_; }
+  int64_t size() const override { return rows_; }
+  void Reset() override;
+  bool NextBatch(ScanBatch* batch) override;
+
+ private:
+  FileScan(std::FILE* file, int dim, int64_t rows, int64_t batch_rows);
+
+  std::FILE* file_;
+  int dim_;
+  int64_t rows_;
+  int64_t batch_rows_;
+  int64_t cursor_ = 0;
+  bool started_ = false;
+  std::vector<double> buffer_;
+};
+
+}  // namespace dbs::data
+
+#endif  // DBS_DATA_DATASET_IO_H_

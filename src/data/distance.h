@@ -1,0 +1,56 @@
+// Distance metrics over PointViews.
+//
+// The paper states results for Euclidean distance but notes that other
+// metrics (L1, Linf) work equally well; detectors and clusterers take a
+// Metric enum so all three are exercised by the test suite.
+
+#ifndef DBS_DATA_DISTANCE_H_
+#define DBS_DATA_DISTANCE_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/point_set.h"
+#include "util/check.h"
+
+namespace dbs::data {
+
+enum class Metric {
+  kL2 = 0,
+  kL1,
+  kLinf,
+};
+
+inline double SquaredL2(PointView a, PointView b) {
+  DBS_DCHECK(a.dim() == b.dim());
+  double sum = 0.0;
+  for (int j = 0; j < a.dim(); ++j) {
+    double diff = a[j] - b[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+inline double Distance(PointView a, PointView b, Metric metric = Metric::kL2) {
+  DBS_DCHECK(a.dim() == b.dim());
+  switch (metric) {
+    case Metric::kL2:
+      return std::sqrt(SquaredL2(a, b));
+    case Metric::kL1: {
+      double sum = 0.0;
+      for (int j = 0; j < a.dim(); ++j) sum += std::abs(a[j] - b[j]);
+      return sum;
+    }
+    case Metric::kLinf: {
+      double best = 0.0;
+      for (int j = 0; j < a.dim(); ++j)
+        best = std::max(best, std::abs(a[j] - b[j]));
+      return best;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace dbs::data
+
+#endif  // DBS_DATA_DISTANCE_H_

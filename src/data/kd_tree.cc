@@ -1,0 +1,241 @@
+#include "data/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "data/distance.h"
+
+namespace dbs::data {
+
+KdTree::KdTree(const PointSet* points) : points_(points) {
+  DBS_CHECK(points != nullptr);
+  items_.resize(static_cast<size_t>(points->size()));
+  std::iota(items_.begin(), items_.end(), int64_t{0});
+  if (!items_.empty()) {
+    nodes_.reserve(2 * items_.size() / kLeafSize + 2);
+    root_ = Build(0, static_cast<int32_t>(items_.size()));
+  }
+}
+
+KdTree::KdTree(const PointSet* points, std::vector<int64_t> indices)
+    : points_(points), items_(std::move(indices)) {
+  DBS_CHECK(points != nullptr);
+  for (int64_t idx : items_) {
+    DBS_CHECK(idx >= 0 && idx < points->size());
+  }
+  if (!items_.empty()) {
+    nodes_.reserve(2 * items_.size() / kLeafSize + 2);
+    root_ = Build(0, static_cast<int32_t>(items_.size()));
+  }
+}
+
+int32_t KdTree::Build(int32_t begin, int32_t end) {
+  Node node;
+  if (end - begin <= kLeafSize) {
+    node.begin = begin;
+    node.end = end;
+    nodes_.push_back(node);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+  // Split on the widest dimension at the median.
+  int d = points_->dim();
+  int best_axis = 0;
+  double best_extent = -1.0;
+  for (int j = 0; j < d; ++j) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (int32_t i = begin; i < end; ++i) {
+      double v = (*points_)[items_[i]][j];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_extent) {
+      best_extent = hi - lo;
+      best_axis = j;
+    }
+  }
+  int32_t mid = begin + (end - begin) / 2;
+  std::nth_element(items_.begin() + begin, items_.begin() + mid,
+                   items_.begin() + end, [&](int64_t a, int64_t b) {
+                     return (*points_)[a][best_axis] < (*points_)[b][best_axis];
+                   });
+  node.axis = static_cast<int16_t>(best_axis);
+  node.split = (*points_)[items_[mid]][best_axis];
+  int32_t self = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  int32_t left = Build(begin, mid);
+  int32_t right = Build(mid, end);
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+int64_t KdTree::Nearest(PointView query, int64_t exclude) const {
+  if (items_.empty()) return -1;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  int64_t best_idx = -1;
+  NearestImpl(root_, query, exclude, best_d2, best_idx);
+  return best_idx;
+}
+
+void KdTree::NearestImpl(int32_t node_id, PointView query, int64_t exclude,
+                         double& best_d2, int64_t& best_idx) const {
+  const Node& node = nodes_[node_id];
+  if (node.axis < 0) {
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      int64_t idx = items_[i];
+      if (idx == exclude) continue;
+      double d2 = SquaredL2(query, (*points_)[idx]);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best_idx = idx;
+      }
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  int32_t near = diff < 0 ? node.left : node.right;
+  int32_t far = diff < 0 ? node.right : node.left;
+  NearestImpl(near, query, exclude, best_d2, best_idx);
+  if (diff * diff < best_d2) {
+    NearestImpl(far, query, exclude, best_d2, best_idx);
+  }
+}
+
+std::vector<int64_t> KdTree::KNearest(PointView query, int k,
+                                      int64_t exclude) const {
+  std::vector<HeapEntry> heap;
+  if (k <= 0 || items_.empty()) return {};
+  heap.reserve(static_cast<size_t>(k) + 1);
+  KNearestImpl(root_, query, k, exclude, heap);
+  std::sort_heap(heap.begin(), heap.end());
+  std::vector<int64_t> out;
+  out.reserve(heap.size());
+  for (const HeapEntry& e : heap) out.push_back(e.idx);
+  return out;
+}
+
+void KdTree::KNearestImpl(int32_t node_id, PointView query, int k,
+                          int64_t exclude,
+                          std::vector<HeapEntry>& heap) const {
+  const Node& node = nodes_[node_id];
+  if (node.axis < 0) {
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      int64_t idx = items_[i];
+      if (idx == exclude) continue;
+      double d2 = SquaredL2(query, (*points_)[idx]);
+      if (static_cast<int>(heap.size()) < k) {
+        heap.push_back({d2, idx});
+        std::push_heap(heap.begin(), heap.end());
+      } else if (d2 < heap.front().d2) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {d2, idx};
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  int32_t near = diff < 0 ? node.left : node.right;
+  int32_t far = diff < 0 ? node.right : node.left;
+  KNearestImpl(near, query, k, exclude, heap);
+  double worst = static_cast<int>(heap.size()) < k
+                     ? std::numeric_limits<double>::infinity()
+                     : heap.front().d2;
+  if (diff * diff < worst) {
+    KNearestImpl(far, query, k, exclude, heap);
+  }
+}
+
+std::vector<int64_t> KdTree::WithinRadius(PointView query,
+                                          double radius) const {
+  std::vector<int64_t> out;
+  if (items_.empty() || radius < 0) return out;
+  int64_t count = 0;
+  RadiusImpl(root_, query, radius * radius, &out, &count, -1);
+  return out;
+}
+
+int64_t KdTree::CountWithinRadius(PointView query, double radius,
+                                  int64_t cap) const {
+  if (items_.empty() || radius < 0) return 0;
+  int64_t count = 0;
+  RadiusImpl(root_, query, radius * radius, nullptr, &count, cap);
+  return count;
+}
+
+std::vector<int64_t> KdTree::WithinRadiusMetric(PointView query,
+                                                double radius,
+                                                Metric metric) const {
+  if (metric == Metric::kL2) return WithinRadius(query, radius);
+  std::vector<int64_t> out;
+  if (items_.empty() || radius < 0) return out;
+  int64_t count = 0;
+  RadiusMetricImpl(root_, query, radius, metric, &out, &count, -1);
+  return out;
+}
+
+int64_t KdTree::CountWithinRadiusMetric(PointView query, double radius,
+                                        Metric metric, int64_t cap) const {
+  if (metric == Metric::kL2) return CountWithinRadius(query, radius, cap);
+  if (items_.empty() || radius < 0) return 0;
+  int64_t count = 0;
+  RadiusMetricImpl(root_, query, radius, metric, nullptr, &count, cap);
+  return count;
+}
+
+void KdTree::RadiusMetricImpl(int32_t node_id, PointView query,
+                              double radius, Metric metric,
+                              std::vector<int64_t>* out, int64_t* count,
+                              int64_t cap) const {
+  if (cap >= 0 && *count > cap) return;
+  const Node& node = nodes_[node_id];
+  if (node.axis < 0) {
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      int64_t idx = items_[i];
+      if (Distance(query, (*points_)[idx], metric) <= radius) {
+        ++*count;
+        if (out != nullptr) out->push_back(idx);
+        if (cap >= 0 && *count > cap) return;
+      }
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  int32_t near = diff < 0 ? node.left : node.right;
+  int32_t far = diff < 0 ? node.right : node.left;
+  RadiusMetricImpl(near, query, radius, metric, out, count, cap);
+  // The single-axis offset lower-bounds L2, L1 and Linf distances alike.
+  if (std::abs(diff) <= radius) {
+    RadiusMetricImpl(far, query, radius, metric, out, count, cap);
+  }
+}
+
+void KdTree::RadiusImpl(int32_t node_id, PointView query, double r2,
+                        std::vector<int64_t>* out, int64_t* count,
+                        int64_t cap) const {
+  if (cap >= 0 && *count > cap) return;
+  const Node& node = nodes_[node_id];
+  if (node.axis < 0) {
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      int64_t idx = items_[i];
+      if (SquaredL2(query, (*points_)[idx]) <= r2) {
+        ++*count;
+        if (out != nullptr) out->push_back(idx);
+        if (cap >= 0 && *count > cap) return;
+      }
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  int32_t near = diff < 0 ? node.left : node.right;
+  int32_t far = diff < 0 ? node.right : node.left;
+  RadiusImpl(near, query, r2, out, count, cap);
+  if (diff * diff <= r2) {
+    RadiusImpl(far, query, r2, out, count, cap);
+  }
+}
+
+}  // namespace dbs::data

@@ -1,0 +1,99 @@
+// Static kd-tree over a PointSet.
+//
+// Supports nearest-neighbor, k-nearest, radius search, and neighbor counting
+// with early abort (the primitive the outlier verification pass needs: stop
+// as soon as more than `cap` neighbors are seen). The tree indexes point
+// positions at build time; the underlying PointSet must stay alive and
+// unmodified.
+//
+// Construction is the classic median split on the widest dimension, giving
+// a balanced tree in O(n log n).
+
+#ifndef DBS_DATA_KD_TREE_H_
+#define DBS_DATA_KD_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/distance.h"
+#include "data/point_set.h"
+
+namespace dbs::data {
+
+class KdTree {
+ public:
+  // Builds over all points of `points` (kept by pointer; must outlive tree).
+  explicit KdTree(const PointSet* points);
+
+  // Builds over a subset given by indices into `points`.
+  KdTree(const PointSet* points, std::vector<int64_t> indices);
+
+  int64_t size() const { return static_cast<int64_t>(items_.size()); }
+
+  // Index (into the original PointSet) of the nearest neighbor of `query`.
+  // If `exclude` >= 0, that point index is skipped (for self-queries).
+  // Returns -1 on an empty tree.
+  int64_t Nearest(PointView query, int64_t exclude = -1) const;
+
+  // Indices of the k nearest neighbors, closest first.
+  std::vector<int64_t> KNearest(PointView query, int k,
+                                int64_t exclude = -1) const;
+
+  // All point indices within L2 distance `radius` of `query` (inclusive).
+  std::vector<int64_t> WithinRadius(PointView query, double radius) const;
+
+  // Counts points within `radius`, stopping early once the count exceeds
+  // `cap` (returns cap+1 in that case). cap < 0 means count everything.
+  int64_t CountWithinRadius(PointView query, double radius,
+                            int64_t cap = -1) const;
+
+  // Metric-general variants: for any of L2/L1/Linf the per-axis splitting-
+  // plane distance lower-bounds the metric distance, so the same tree
+  // prunes correctly; only the leaf-level distance changes.
+  std::vector<int64_t> WithinRadiusMetric(PointView query, double radius,
+                                          Metric metric) const;
+  int64_t CountWithinRadiusMetric(PointView query, double radius,
+                                  Metric metric, int64_t cap = -1) const;
+
+ private:
+  struct Node {
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t begin = 0;   // leaf: range into items_
+    int32_t end = 0;
+    int16_t axis = -1;   // -1 for leaf
+    double split = 0.0;
+  };
+
+  static constexpr int kLeafSize = 16;
+
+  int32_t Build(int32_t begin, int32_t end);
+
+  void NearestImpl(int32_t node, PointView query, int64_t exclude,
+                   double& best_d2, int64_t& best_idx) const;
+
+  struct HeapEntry {
+    double d2;
+    int64_t idx;
+    bool operator<(const HeapEntry& o) const { return d2 < o.d2; }
+  };
+  void KNearestImpl(int32_t node, PointView query, int k, int64_t exclude,
+                    std::vector<HeapEntry>& heap) const;
+
+  void RadiusImpl(int32_t node, PointView query, double r2,
+                  std::vector<int64_t>* out, int64_t* count,
+                  int64_t cap) const;
+
+  void RadiusMetricImpl(int32_t node, PointView query, double radius,
+                        Metric metric, std::vector<int64_t>* out,
+                        int64_t* count, int64_t cap) const;
+
+  const PointSet* points_;
+  std::vector<int64_t> items_;  // permutation of point indices
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace dbs::data
+
+#endif  // DBS_DATA_KD_TREE_H_

@@ -1,0 +1,30 @@
+#include "data/point_set.h"
+
+namespace dbs::data {
+
+PointSet::PointSet(int dim, std::initializer_list<double> flat) : dim_(dim) {
+  DBS_CHECK(dim > 0);
+  DBS_CHECK(flat.size() % static_cast<size_t>(dim) == 0);
+  flat_.assign(flat.begin(), flat.end());
+}
+
+void PointSet::Append(const double* coords) {
+  DBS_CHECK(dim_ > 0);
+  flat_.insert(flat_.end(), coords, coords + dim_);
+}
+
+void PointSet::AppendAll(const PointSet& other) {
+  if (other.empty()) return;
+  if (dim_ == 0) dim_ = other.dim();
+  DBS_CHECK(dim_ == other.dim());
+  flat_.insert(flat_.end(), other.flat_.begin(), other.flat_.end());
+}
+
+PointSet PointSet::Gather(const std::vector<int64_t>& indices) const {
+  PointSet out(dim_);
+  out.Reserve(static_cast<int64_t>(indices.size()));
+  for (int64_t i : indices) out.Append((*this)[i]);
+  return out;
+}
+
+}  // namespace dbs::data

@@ -1,0 +1,103 @@
+// Flat, cache-friendly storage for d-dimensional points.
+//
+// A PointSet stores points row-major in a single contiguous buffer; a
+// PointView is a non-owning (pointer, dim) pair used throughout the library
+// to pass points without copying. All higher-level structures (samples,
+// clusters, kd-trees, density estimators) are built on these two types.
+
+#ifndef DBS_DATA_POINT_SET_H_
+#define DBS_DATA_POINT_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dbs::data {
+
+// Non-owning view of one d-dimensional point.
+class PointView {
+ public:
+  PointView() : coords_(nullptr), dim_(0) {}
+  PointView(const double* coords, int dim) : coords_(coords), dim_(dim) {}
+
+  int dim() const { return dim_; }
+  const double* data() const { return coords_; }
+
+  double operator[](int j) const {
+    DBS_DCHECK(j >= 0 && j < dim_);
+    return coords_[j];
+  }
+
+  const double* begin() const { return coords_; }
+  const double* end() const { return coords_ + dim_; }
+
+  // Copies the coordinates into an owning vector.
+  std::vector<double> ToVector() const {
+    return std::vector<double>(coords_, coords_ + dim_);
+  }
+
+ private:
+  const double* coords_;
+  int dim_;
+};
+
+// Owning set of n points in d dimensions, stored row-major.
+class PointSet {
+ public:
+  PointSet() : dim_(0) {}
+  explicit PointSet(int dim) : dim_(dim) { DBS_CHECK(dim > 0); }
+  PointSet(int dim, std::initializer_list<double> flat);
+
+  int dim() const { return dim_; }
+  int64_t size() const {
+    return dim_ == 0 ? 0 : static_cast<int64_t>(flat_.size()) / dim_;
+  }
+  bool empty() const { return flat_.empty(); }
+
+  void Reserve(int64_t num_points) {
+    if (dim_ > 0) flat_.reserve(static_cast<size_t>(num_points) * dim_);
+  }
+
+  // Appends a point; `coords` must have exactly dim() entries.
+  void Append(const double* coords);
+  void Append(PointView p) {
+    DBS_CHECK(p.dim() == dim_);
+    Append(p.data());
+  }
+  void Append(const std::vector<double>& coords) {
+    DBS_CHECK(static_cast<int>(coords.size()) == dim_);
+    Append(coords.data());
+  }
+
+  // Appends all points of `other` (dims must match; sets dim if empty).
+  void AppendAll(const PointSet& other);
+
+  PointView operator[](int64_t i) const {
+    DBS_DCHECK(i >= 0 && i < size());
+    return PointView(flat_.data() + i * dim_, dim_);
+  }
+
+  // Mutable access to the i-th point's coordinates.
+  double* MutableRow(int64_t i) {
+    DBS_DCHECK(i >= 0 && i < size());
+    return flat_.data() + i * dim_;
+  }
+
+  const std::vector<double>& flat() const { return flat_; }
+
+  void Clear() { flat_.clear(); }
+
+  // Returns a new PointSet containing rows at the given indices, in order.
+  PointSet Gather(const std::vector<int64_t>& indices) const;
+
+ private:
+  int dim_;
+  std::vector<double> flat_;
+};
+
+}  // namespace dbs::data
+
+#endif  // DBS_DATA_POINT_SET_H_

@@ -1,0 +1,38 @@
+#include "density/bandwidth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dbs::density {
+
+std::vector<double> ComputeBandwidths(BandwidthRule rule, KernelType kernel,
+                                      const std::vector<double>& sigma,
+                                      int64_t m, double fixed_bandwidth) {
+  DBS_CHECK(m > 0);
+  int dim = static_cast<int>(sigma.size());
+  DBS_CHECK(dim > 0);
+  std::vector<double> h(dim);
+  if (rule == BandwidthRule::kFixed) {
+    DBS_CHECK_MSG(fixed_bandwidth > 0, "fixed bandwidth must be positive");
+    std::fill(h.begin(), h.end(), fixed_bandwidth);
+    return h;
+  }
+  double d = static_cast<double>(dim);
+  double n_factor = std::pow(static_cast<double>(m), -1.0 / (d + 4.0));
+  double prefactor = KernelCanonicalBandwidth(kernel) * n_factor;
+  if (rule == BandwidthRule::kSilverman) {
+    prefactor *= std::pow(4.0 / (d + 2.0), 1.0 / (d + 4.0));
+  }
+  // Floor keeps degenerate dimensions (zero spread) from collapsing the
+  // product kernel to a delta function.
+  constexpr double kMinBandwidth = 1e-6;
+  for (int j = 0; j < dim; ++j) {
+    DBS_CHECK(sigma[j] >= 0);
+    h[j] = std::max(prefactor * sigma[j], kMinBandwidth);
+  }
+  return h;
+}
+
+}  // namespace dbs::density

@@ -1,0 +1,37 @@
+// Bandwidth selection rules for kernel density estimation.
+//
+// The bandwidth controls the smoothing radius of each kernel. We implement
+// the normal-reference rules of Scott and Silverman, adapted per dimension
+// and per kernel (through the canonical-bandwidth factor), plus a fixed
+// override for experiments that sweep the bandwidth directly.
+
+#ifndef DBS_DENSITY_BANDWIDTH_H_
+#define DBS_DENSITY_BANDWIDTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "density/kernel.h"
+
+namespace dbs::density {
+
+enum class BandwidthRule {
+  // h_j = delta(K) * sigma_j * m^(-1/(d+4)) — Scott's multivariate rule.
+  kScott = 0,
+  // Scott's rule with Silverman's (4/(d+2))^(1/(d+4)) prefactor.
+  kSilverman,
+  // The same fixed h on every dimension (set via Options::fixed_bandwidth).
+  kFixed,
+};
+
+// Computes per-dimension bandwidths for `m` kernel centers in `dim`
+// dimensions, given per-dimension standard deviations `sigma` of the data.
+// Dimensions with zero spread get a small floor bandwidth so the estimator
+// stays finite.
+std::vector<double> ComputeBandwidths(BandwidthRule rule, KernelType kernel,
+                                      const std::vector<double>& sigma,
+                                      int64_t m, double fixed_bandwidth);
+
+}  // namespace dbs::density
+
+#endif  // DBS_DENSITY_BANDWIDTH_H_

@@ -1,0 +1,53 @@
+// Abstract density-estimator interface.
+//
+// An estimator f approximates the data density in absolute terms: for a
+// region R, the integral of f over R approximates the number of points in R
+// (paper §2). Consequently the integral over the whole space is ~n, and the
+// "average density" of a dataset scaled to [0,1]^d is ~n. Anything that
+// satisfies this contract can drive the biased sampler — the paper stresses
+// that its framework is independent of the estimation technique.
+
+#ifndef DBS_DENSITY_DENSITY_ESTIMATOR_H_
+#define DBS_DENSITY_DENSITY_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "data/point_set.h"
+
+namespace dbs::density {
+
+class DensityEstimator {
+ public:
+  virtual ~DensityEstimator() = default;
+
+  virtual int dim() const = 0;
+
+  // Estimated local density at p, in points per unit volume.
+  virtual double Evaluate(data::PointView p) const = 0;
+
+  // Number of data points the estimator was built over (the approximate
+  // integral of Evaluate over the whole domain).
+  virtual int64_t total_mass() const = 0;
+
+  // Average density of the data domain: total_mass / Volume(bounding box).
+  // Anchors relative thresholds (e.g. the biased sampler's density floor).
+  // The default assumes a unit-volume domain.
+  virtual double AverageDensity() const {
+    return static_cast<double>(total_mass());
+  }
+
+  // Density at x EXCLUDING the contribution of a data point located at
+  // `self`. Expected-neighbor-count consumers (the outlier detector) use
+  // this so a point's own mass — e.g. when it was sampled as a kernel
+  // center, where it carries n/m of the total — cannot mask it from being
+  // scored as isolated. The default subtracts nothing.
+  virtual double EvaluateExcluding(data::PointView x,
+                                   data::PointView self) const {
+    (void)self;
+    return Evaluate(x);
+  }
+};
+
+}  // namespace dbs::density
+
+#endif  // DBS_DENSITY_DENSITY_ESTIMATOR_H_

@@ -1,0 +1,157 @@
+#include "density/grid_density.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace dbs::density {
+namespace {
+
+uint64_t HashCellId(const int64_t* cell, int dim) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (int j = 0; j < dim; ++j) {
+    uint64_t v = static_cast<uint64_t>(cell[j]) + 0x9e3779b97f4a7c15ULL;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    h = (h * 0xc4ceb9fe1a85ec53ULL) ^ v;
+  }
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+Result<GridDensity> GridDensity::Fit(data::DataScan& scan,
+                                     const GridDensityOptions& options) {
+  if (options.cells_per_dim <= 0) {
+    return Status::InvalidArgument("cells_per_dim must be positive");
+  }
+  if (options.memory_budget_bytes < 64) {
+    return Status::InvalidArgument("memory budget is unusably small");
+  }
+  const int dim = scan.dim();
+  if (dim <= 0) {
+    return Status::InvalidArgument("scan must have positive dimensionality");
+  }
+
+  GridDensity gd;
+  gd.dim_ = dim;
+  gd.cells_per_dim_ = options.cells_per_dim;
+
+  if (options.bounds.empty()) {
+    // Discovery pass for the domain.
+    gd.bounds_ = data::BoundingBox(dim);
+    scan.Reset();
+    data::ScanBatch batch;
+    while (scan.NextBatch(&batch)) {
+      for (int64_t i = 0; i < batch.count; ++i) {
+        gd.bounds_.Extend(batch.point(i, dim));
+      }
+    }
+    if (gd.bounds_.empty()) {
+      return Status::InvalidArgument("cannot fit a grid on an empty dataset");
+    }
+  } else {
+    if (options.bounds.dim() != dim) {
+      return Status::InvalidArgument("bounds dimensionality mismatch");
+    }
+    gd.bounds_ = options.bounds;
+  }
+
+  gd.cell_width_.resize(dim);
+  gd.cell_volume_ = 1.0;
+  for (int j = 0; j < dim; ++j) {
+    double ext = gd.bounds_.extent(j);
+    // A degenerate dimension still needs a positive width so every point
+    // lands in cell 0 there.
+    gd.cell_width_[j] =
+        ext > 0 ? ext / gd.cells_per_dim_ : 1.0;
+    gd.cell_volume_ *= gd.cell_width_[j];
+  }
+
+  // When every logical cell fits in the memory budget (8 bytes per count),
+  // address cells directly — no collisions. Otherwise hash into however
+  // many buckets the budget allows; distinct cells then merge, which is the
+  // degradation mode of [22] this substrate reproduces.
+  int64_t budget_buckets = std::max<int64_t>(options.memory_budget_bytes / 8,
+                                             1);
+  double logical = std::pow(static_cast<double>(options.cells_per_dim), dim);
+  gd.hashed_ = logical > static_cast<double>(budget_buckets);
+  int64_t num_buckets =
+      gd.hashed_ ? budget_buckets : static_cast<int64_t>(logical);
+  gd.bucket_counts_.assign(static_cast<size_t>(num_buckets), 0);
+
+  // Counting pass.
+  scan.Reset();
+  data::ScanBatch batch;
+  int64_t n = 0;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      ++gd.bucket_counts_[static_cast<size_t>(gd.BucketOf(
+          batch.point(i, dim)))];
+      ++n;
+    }
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("cannot fit a grid on an empty dataset");
+  }
+  gd.n_ = n;
+  return gd;
+}
+
+Result<GridDensity> GridDensity::Fit(const data::PointSet& points,
+                                     const GridDensityOptions& options) {
+  data::InMemoryScan scan(&points);
+  return Fit(scan, options);
+}
+
+int64_t GridDensity::BucketOf(data::PointView p) const {
+  DBS_DCHECK(p.dim() == dim_);
+  int64_t cell[16];
+  DBS_CHECK(dim_ <= 16);
+  for (int j = 0; j < dim_; ++j) {
+    int64_t c = static_cast<int64_t>(
+        std::floor((p[j] - bounds_.lo(j)) / cell_width_[j]));
+    cell[j] = std::clamp<int64_t>(c, 0, cells_per_dim_ - 1);
+  }
+  if (!hashed_) {
+    int64_t linear = 0;
+    for (int j = 0; j < dim_; ++j) linear = linear * cells_per_dim_ + cell[j];
+    return linear;
+  }
+  return static_cast<int64_t>(HashCellId(cell, dim_) %
+                              static_cast<uint64_t>(bucket_counts_.size()));
+}
+
+int64_t GridDensity::CellCount(data::PointView p) const {
+  return bucket_counts_[static_cast<size_t>(BucketOf(p))];
+}
+
+double GridDensity::Evaluate(data::PointView p) const {
+  return static_cast<double>(CellCount(p)) / cell_volume_;
+}
+
+double GridDensity::EvaluateExcluding(data::PointView x,
+                                      data::PointView self) const {
+  int64_t count = CellCount(x);
+  if (BucketOf(x) == BucketOf(self) && count > 0) --count;
+  return static_cast<double>(count) / cell_volume_;
+}
+
+double GridDensity::SumCountPow(double e) const {
+  double sum = 0.0;
+  for (int64_t c : bucket_counts_) {
+    if (c > 0) sum += SafePow(static_cast<double>(c), e);
+  }
+  return sum;
+}
+
+int64_t GridDensity::num_occupied_buckets() const {
+  int64_t occupied = 0;
+  for (int64_t c : bucket_counts_) {
+    if (c > 0) ++occupied;
+  }
+  return occupied;
+}
+
+}  // namespace dbs::density

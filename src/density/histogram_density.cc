@@ -1,0 +1,107 @@
+#include "density/histogram_density.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbs::density {
+
+Result<HistogramDensity> HistogramDensity::Fit(
+    data::DataScan& scan, const HistogramDensityOptions& options) {
+  if (options.cells_per_dim <= 0) {
+    return Status::InvalidArgument("cells_per_dim must be positive");
+  }
+  const int dim = scan.dim();
+  if (dim <= 0) {
+    return Status::InvalidArgument("scan must have positive dimensionality");
+  }
+  double logical = std::pow(static_cast<double>(options.cells_per_dim), dim);
+  if (logical > static_cast<double>(options.max_cells)) {
+    return Status::InvalidArgument(
+        "histogram would exceed max_cells; use GridDensity for high "
+        "dimensionality");
+  }
+
+  HistogramDensity hd;
+  hd.dim_ = dim;
+  hd.cells_per_dim_ = options.cells_per_dim;
+
+  if (options.bounds.empty()) {
+    hd.bounds_ = data::BoundingBox(dim);
+    scan.Reset();
+    data::ScanBatch batch;
+    while (scan.NextBatch(&batch)) {
+      for (int64_t i = 0; i < batch.count; ++i) {
+        hd.bounds_.Extend(batch.point(i, dim));
+      }
+    }
+    if (hd.bounds_.empty()) {
+      return Status::InvalidArgument(
+          "cannot fit a histogram on an empty dataset");
+    }
+  } else {
+    if (options.bounds.dim() != dim) {
+      return Status::InvalidArgument("bounds dimensionality mismatch");
+    }
+    hd.bounds_ = options.bounds;
+  }
+
+  hd.cell_width_.resize(dim);
+  hd.cell_volume_ = 1.0;
+  for (int j = 0; j < dim; ++j) {
+    double ext = hd.bounds_.extent(j);
+    hd.cell_width_[j] = ext > 0 ? ext / hd.cells_per_dim_ : 1.0;
+    hd.cell_volume_ *= hd.cell_width_[j];
+  }
+  hd.counts_.assign(static_cast<size_t>(logical), 0);
+
+  scan.Reset();
+  data::ScanBatch batch;
+  int64_t n = 0;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      ++hd.counts_[static_cast<size_t>(hd.LinearCell(batch.point(i, dim)))];
+      ++n;
+    }
+  }
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "cannot fit a histogram on an empty dataset");
+  }
+  hd.n_ = n;
+  return hd;
+}
+
+Result<HistogramDensity> HistogramDensity::Fit(
+    const data::PointSet& points, const HistogramDensityOptions& options) {
+  data::InMemoryScan scan(&points);
+  return Fit(scan, options);
+}
+
+int64_t HistogramDensity::LinearCell(data::PointView p) const {
+  DBS_DCHECK(p.dim() == dim_);
+  int64_t linear = 0;
+  for (int j = 0; j < dim_; ++j) {
+    int64_t c = static_cast<int64_t>(
+        std::floor((p[j] - bounds_.lo(j)) / cell_width_[j]));
+    c = std::clamp<int64_t>(c, 0, cells_per_dim_ - 1);
+    linear = linear * cells_per_dim_ + c;
+  }
+  return linear;
+}
+
+int64_t HistogramDensity::CellCount(data::PointView p) const {
+  return counts_[static_cast<size_t>(LinearCell(p))];
+}
+
+double HistogramDensity::Evaluate(data::PointView p) const {
+  return static_cast<double>(CellCount(p)) / cell_volume_;
+}
+
+double HistogramDensity::EvaluateExcluding(data::PointView x,
+                                           data::PointView self) const {
+  int64_t count = CellCount(x);
+  if (LinearCell(x) == LinearCell(self) && count > 0) --count;
+  return static_cast<double>(count) / cell_volume_;
+}
+
+}  // namespace dbs::density

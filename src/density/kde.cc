@@ -1,0 +1,295 @@
+#include "density/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace dbs::density {
+namespace {
+
+// Grid cells are hashed, not stored exactly; colliding cells share a bucket.
+// That is safe because evaluation always computes the exact kernel value
+// (zero outside the support), and neighbor-bucket keys are deduplicated
+// before iteration so no center can be accumulated twice.
+uint64_t HashCell(const int64_t* cell, int dim) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (int j = 0; j < dim; ++j) {
+    uint64_t v = static_cast<uint64_t>(cell[j]);
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 31;
+    h = (h ^ v) * 0x94d049bb133111ebULL;
+  }
+  return h ^ (h >> 29);
+}
+
+// Above this dimensionality the 3^d neighbor enumeration stops paying for
+// itself; evaluation falls back to the brute-force sum.
+constexpr int kMaxIndexDim = 6;
+
+}  // namespace
+
+Result<Kde> Kde::Fit(data::DataScan& scan, const KdeOptions& options) {
+  if (options.num_kernels <= 0) {
+    return Status::InvalidArgument("num_kernels must be positive");
+  }
+  if (options.bandwidth_rule == BandwidthRule::kFixed &&
+      options.fixed_bandwidth <= 0) {
+    return Status::InvalidArgument(
+        "fixed bandwidth rule requires fixed_bandwidth > 0");
+  }
+  if (options.bandwidth_scale <= 0) {
+    return Status::InvalidArgument("bandwidth_scale must be positive");
+  }
+  const int dim = scan.dim();
+  if (dim <= 0) {
+    return Status::InvalidArgument("scan must have positive dimensionality");
+  }
+
+  Kde kde;
+  kde.kernel_ = options.kernel;
+  kde.centers_ = data::PointSet(dim);
+  kde.bounds_ = data::BoundingBox(dim);
+  std::vector<OnlineMoments> moments(dim);
+  Rng rng(options.seed);
+
+  // Single pass: reservoir-sample centers (Vitter's Algorithm R), accumulate
+  // moments and bounds.
+  const int64_t m_target = options.num_kernels;
+  scan.Reset();
+  data::ScanBatch batch;
+  int64_t seen = 0;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      data::PointView p = batch.point(i, dim);
+      kde.bounds_.Extend(p);
+      for (int j = 0; j < dim; ++j) moments[j].Add(p[j]);
+      if (seen < m_target) {
+        kde.centers_.Append(p);
+      } else {
+        int64_t slot = static_cast<int64_t>(rng.NextBounded(
+            static_cast<uint64_t>(seen + 1)));
+        if (slot < m_target) {
+          data::PointView src = p;
+          double* dst = kde.centers_.MutableRow(slot);
+          for (int j = 0; j < dim; ++j) dst[j] = src[j];
+        }
+      }
+      ++seen;
+    }
+  }
+  if (seen == 0) {
+    return Status::InvalidArgument("cannot fit a KDE on an empty dataset");
+  }
+  kde.n_ = seen;
+
+  std::vector<double> sigma(dim);
+  for (int j = 0; j < dim; ++j) sigma[j] = moments[j].sample_stddev();
+  kde.bandwidths_ =
+      ComputeBandwidths(options.bandwidth_rule, options.kernel, sigma,
+                        kde.centers_.size(), options.fixed_bandwidth);
+  for (double& h : kde.bandwidths_) h *= options.bandwidth_scale;
+  kde.inv_bandwidths_.resize(dim);
+  double inv_h_prod = 1.0;
+  for (int j = 0; j < dim; ++j) {
+    kde.inv_bandwidths_[j] = 1.0 / kde.bandwidths_[j];
+    inv_h_prod *= kde.inv_bandwidths_[j];
+  }
+  kde.norm_factor_ = static_cast<double>(kde.n_) /
+                     static_cast<double>(kde.centers_.size()) * inv_h_prod;
+  kde.support_radius_ = KernelSupportRadius(options.kernel);
+
+  if (options.use_grid_index && dim <= kMaxIndexDim) {
+    kde.BuildIndex();
+  }
+  return kde;
+}
+
+Result<Kde> Kde::Fit(const data::PointSet& points, const KdeOptions& options) {
+  data::InMemoryScan scan(&points);
+  return Fit(scan, options);
+}
+
+void Kde::BuildIndex() {
+  const int dim = centers_.dim();
+  cell_extent_.resize(dim);
+  for (int j = 0; j < dim; ++j) {
+    cell_extent_[j] = support_radius_ * bandwidths_[j];
+  }
+  std::vector<int64_t> cell(dim);
+  for (int64_t i = 0; i < centers_.size(); ++i) {
+    data::PointView c = centers_[i];
+    for (int j = 0; j < dim; ++j) {
+      cell[j] = static_cast<int64_t>(std::floor(c[j] / cell_extent_[j]));
+    }
+    grid_[HashCell(cell.data(), dim)].push_back(static_cast<int32_t>(i));
+  }
+  indexed_ = true;
+}
+
+namespace {
+
+// True when the center's coordinates equal `exclude` exactly (centers are
+// verbatim copies of data rows, so bitwise comparison identifies them).
+inline bool MatchesExclude(const double* c, data::PointView exclude, int d) {
+  if (exclude.data() == nullptr) return false;
+  for (int j = 0; j < d; ++j) {
+    if (c[j] != exclude[j]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double Kde::SumBrute(data::PointView p, data::PointView exclude) const {
+  DBS_DCHECK(p.dim() == dim());
+  const int d = dim();
+  double sum = 0.0;
+  for (int64_t i = 0; i < centers_.size(); ++i) {
+    const double* c = centers_[i].data();
+    double prod = 1.0;
+    for (int j = 0; j < d; ++j) {
+      double u = (p[j] - c[j]) * inv_bandwidths_[j];
+      double k = KernelValue(kernel_, u);
+      if (k == 0.0) {
+        prod = 0.0;
+        break;
+      }
+      prod *= k;
+    }
+    if (prod != 0.0 && MatchesExclude(c, exclude, d)) continue;
+    sum += prod;
+  }
+  return sum;
+}
+
+double Kde::EvaluateBrute(data::PointView p) const {
+  return norm_factor_ * SumBrute(p, data::PointView());
+}
+
+double Kde::SumIndexed(data::PointView p, data::PointView exclude) const {
+  DBS_DCHECK(p.dim() == dim());
+  const int d = dim();
+  int64_t base[kMaxIndexDim];
+  for (int j = 0; j < d; ++j) {
+    base[j] = static_cast<int64_t>(std::floor(p[j] / cell_extent_[j]));
+  }
+  // Enumerate the 3^d neighbor cells and collect their (deduplicated) keys.
+  int64_t cell[kMaxIndexDim];
+  int offsets[kMaxIndexDim];
+  std::fill(offsets, offsets + d, -1);
+  uint64_t keys[729];  // 3^6
+  int num_keys = 0;
+  while (true) {
+    for (int j = 0; j < d; ++j) cell[j] = base[j] + offsets[j];
+    keys[num_keys++] = HashCell(cell, d);
+    int j = 0;
+    for (; j < d; ++j) {
+      if (++offsets[j] <= 1) break;
+      offsets[j] = -1;
+    }
+    if (j == d) break;
+  }
+  std::sort(keys, keys + num_keys);
+  num_keys = static_cast<int>(std::unique(keys, keys + num_keys) - keys);
+
+  double sum = 0.0;
+  for (int ki = 0; ki < num_keys; ++ki) {
+    auto it = grid_.find(keys[ki]);
+    if (it == grid_.end()) continue;
+    for (int32_t idx : it->second) {
+      const double* c = centers_[idx].data();
+      double prod = 1.0;
+      for (int j = 0; j < d; ++j) {
+        double u = (p[j] - c[j]) * inv_bandwidths_[j];
+        double k = KernelValue(kernel_, u);
+        if (k == 0.0) {
+          prod = 0.0;
+          break;
+        }
+        prod *= k;
+      }
+      if (prod != 0.0 && MatchesExclude(c, exclude, d)) continue;
+      sum += prod;
+    }
+  }
+  return sum;
+}
+
+double Kde::Evaluate(data::PointView p) const {
+  if (!indexed_) return EvaluateBrute(p);
+  return norm_factor_ * SumIndexed(p, data::PointView());
+}
+
+double Kde::EvaluateExcluding(data::PointView x, data::PointView self) const {
+  double sum = indexed_ ? SumIndexed(x, self) : SumBrute(x, self);
+  return norm_factor_ * sum;
+}
+
+double Kde::MeanDensityPow(double a) const {
+  double sum = 0.0;
+  for (int64_t i = 0; i < centers_.size(); ++i) {
+    double f = Evaluate(centers_[i]);
+    if (f > 0) sum += std::pow(f, a);
+  }
+  return sum / static_cast<double>(centers_.size());
+}
+
+double Kde::AverageDensity() const {
+  double volume = bounds_.Volume();
+  if (volume <= 0) return 0.0;
+  return static_cast<double>(n_) / volume;
+}
+
+Kde::State Kde::ExportState() const {
+  State state;
+  state.n = n_;
+  state.kernel = kernel_;
+  state.centers = centers_;
+  state.bandwidths = bandwidths_;
+  state.bounds = bounds_;
+  return state;
+}
+
+Result<Kde> Kde::FromState(State state, bool rebuild_index) {
+  if (state.n <= 0) {
+    return Status::InvalidArgument("state has non-positive point count");
+  }
+  if (state.centers.empty()) {
+    return Status::InvalidArgument("state has no kernel centers");
+  }
+  const int dim = state.centers.dim();
+  if (static_cast<int>(state.bandwidths.size()) != dim) {
+    return Status::InvalidArgument("bandwidth count does not match dim");
+  }
+  for (double h : state.bandwidths) {
+    if (!(h > 0)) {
+      return Status::InvalidArgument("bandwidths must be positive");
+    }
+  }
+  if (state.bounds.dim() != dim) {
+    return Status::InvalidArgument("bounds dim does not match centers");
+  }
+  Kde kde;
+  kde.n_ = state.n;
+  kde.kernel_ = state.kernel;
+  kde.centers_ = std::move(state.centers);
+  kde.bandwidths_ = std::move(state.bandwidths);
+  kde.bounds_ = std::move(state.bounds);
+  kde.inv_bandwidths_.resize(dim);
+  double inv_h_prod = 1.0;
+  for (int j = 0; j < dim; ++j) {
+    kde.inv_bandwidths_[j] = 1.0 / kde.bandwidths_[j];
+    inv_h_prod *= kde.inv_bandwidths_[j];
+  }
+  kde.norm_factor_ = static_cast<double>(kde.n_) /
+                     static_cast<double>(kde.centers_.size()) * inv_h_prod;
+  kde.support_radius_ = KernelSupportRadius(kde.kernel_);
+  if (rebuild_index && dim <= kMaxIndexDim) {
+    kde.BuildIndex();
+  }
+  return kde;
+}
+
+}  // namespace dbs::density

@@ -1,0 +1,130 @@
+// Kernel density estimation (paper §2.1, following Gunopulos et al. [9]).
+//
+// The estimator is built in ONE pass over the data: that pass draws `m`
+// kernel centers by reservoir sampling and accumulates per-dimension
+// moments, from which Scott/Silverman bandwidths are derived. The density is
+//
+//   f(x) = (n/m) * sum_i prod_j (1/h_j) K((x_j - c_ij) / h_j)
+//
+// so that the integral of f over the whole space is ~n ("absolute" density,
+// see DensityEstimator). The paper recommends m = 1000 kernels as a robust
+// default (§4.4); Fig 7 sweeps this parameter.
+//
+// Because the Epanechnikov kernel has compact support, centers are bucketed
+// into a uniform grid with cells the size of the support box; evaluating
+// f(x) then touches only the 3^d cells around x instead of all m centers.
+// The index is an internal acceleration only — results are identical with it
+// on or off (bench/micro_kde ablates the speedup).
+
+#ifndef DBS_DENSITY_KDE_H_
+#define DBS_DENSITY_KDE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/bounds.h"
+#include "data/dataset.h"
+#include "data/point_set.h"
+#include "density/bandwidth.h"
+#include "density/density_estimator.h"
+#include "density/kernel.h"
+#include "util/status.h"
+
+namespace dbs::density {
+
+struct KdeOptions {
+  // Number of kernel centers (the paper's recommended default).
+  int64_t num_kernels = 1000;
+  KernelType kernel = KernelType::kEpanechnikov;
+  BandwidthRule bandwidth_rule = BandwidthRule::kScott;
+  // Used only with BandwidthRule::kFixed.
+  double fixed_bandwidth = 0.0;
+  // Multiplier applied to the rule-derived bandwidths. The normal-reference
+  // rules assume a unimodal density and oversmooth clustered data; values
+  // in [0.2, 0.5] sharpen the estimate when clusters are much smaller than
+  // the data spread. 1.0 uses the rule as-is.
+  double bandwidth_scale = 1.0;
+  // Seed for the center-sampling reservoir.
+  uint64_t seed = 1;
+  // Build the compact-support grid index (identical results, faster eval).
+  bool use_grid_index = true;
+};
+
+class Kde final : public DensityEstimator {
+ public:
+  // Builds the estimator in a single pass over `scan`.
+  static Result<Kde> Fit(data::DataScan& scan, const KdeOptions& options);
+
+  // Convenience overload for in-memory data (still a single logical pass).
+  static Result<Kde> Fit(const data::PointSet& points,
+                         const KdeOptions& options);
+
+  int dim() const override { return centers_.dim(); }
+  double Evaluate(data::PointView p) const override;
+  int64_t total_mass() const override { return n_; }
+  // Leave-one-out evaluation: skips kernel centers whose coordinates equal
+  // `self` exactly (centers are verbatim copies of data points, so a data
+  // point that became a center is recognized bitwise).
+  double EvaluateExcluding(data::PointView x,
+                           data::PointView self) const override;
+
+  // Average of Evaluate(c)^a over the kernel centers. Since the centers are
+  // a uniform sample of the data, n * MeanDensityPow(a) is an unbiased
+  // estimate of the normalizer k_a = sum_x f(x)^a — the quantity the
+  // one-pass sampler variant uses in place of an exact normalization pass.
+  double MeanDensityPow(double a) const;
+
+  // Average density of the data's bounding box: total_mass / Volume. The
+  // densities above/below this threshold are the regions the paper calls
+  // denser/sparser than the data-space average.
+  double AverageDensity() const override;
+
+  int64_t num_kernels() const { return centers_.size(); }
+  const data::PointSet& centers() const { return centers_; }
+  const std::vector<double>& bandwidths() const { return bandwidths_; }
+  const data::BoundingBox& bounds() const { return bounds_; }
+
+  // Evaluates with the grid index disabled (for testing/ablation).
+  double EvaluateBrute(data::PointView p) const;
+
+  // Serialization support (see density/kde_io.h): a value-type snapshot of
+  // the fitted model, sufficient to reconstruct it exactly.
+  struct State {
+    int64_t n = 0;
+    KernelType kernel = KernelType::kEpanechnikov;
+    data::PointSet centers;
+    std::vector<double> bandwidths;
+    data::BoundingBox bounds;
+  };
+  State ExportState() const;
+  static Result<Kde> FromState(State state, bool rebuild_index = true);
+
+ private:
+  Kde() = default;
+
+  void BuildIndex();
+  uint64_t CellKey(const int64_t* cell) const;
+  // Kernel sum at p via the grid index, skipping centers whose coordinates
+  // equal `exclude` (pass a default PointView to skip nothing).
+  double SumIndexed(data::PointView p, data::PointView exclude) const;
+  double SumBrute(data::PointView p, data::PointView exclude) const;
+
+  int64_t n_ = 0;
+  KernelType kernel_ = KernelType::kEpanechnikov;
+  data::PointSet centers_;
+  std::vector<double> bandwidths_;      // per dimension
+  std::vector<double> inv_bandwidths_;  // 1/h_j
+  double norm_factor_ = 0.0;            // (n/m) * prod_j (1/h_j)
+  data::BoundingBox bounds_;
+
+  // Grid index over centers. Cell extent along j = support_radius * h_j.
+  bool indexed_ = false;
+  double support_radius_ = 1.0;
+  std::vector<double> cell_extent_;
+  std::unordered_map<uint64_t, std::vector<int32_t>> grid_;
+};
+
+}  // namespace dbs::density
+
+#endif  // DBS_DENSITY_KDE_H_

@@ -1,0 +1,77 @@
+#include "density/kernel.h"
+
+#include <cmath>
+
+namespace dbs::density {
+
+double KernelValue(KernelType type, double u) {
+  switch (type) {
+    case KernelType::kEpanechnikov: {
+      double a = 1.0 - u * u;
+      return a > 0 ? 0.75 * a : 0.0;
+    }
+    case KernelType::kQuartic: {
+      double a = 1.0 - u * u;
+      return a > 0 ? 0.9375 * a * a : 0.0;
+    }
+    case KernelType::kTriangular: {
+      double a = 1.0 - std::abs(u);
+      return a > 0 ? a : 0.0;
+    }
+    case KernelType::kUniform:
+      return std::abs(u) <= 1.0 ? 0.5 : 0.0;
+    case KernelType::kGaussian:
+      if (std::abs(u) > 4.0) return 0.0;
+      return 0.3989422804014327 * std::exp(-0.5 * u * u);
+  }
+  return 0.0;
+}
+
+double KernelSupportRadius(KernelType type) {
+  switch (type) {
+    case KernelType::kEpanechnikov:
+    case KernelType::kQuartic:
+    case KernelType::kTriangular:
+    case KernelType::kUniform:
+      return 1.0;
+    case KernelType::kGaussian:
+      return 4.0;
+  }
+  return 1.0;
+}
+
+double KernelCanonicalBandwidth(KernelType type) {
+  // Values from Scott (1992) / Silverman (1986): the bandwidth that makes a
+  // kernel equivalent to the normal-reference rule h = sigma * n^(-1/(d+4)).
+  switch (type) {
+    case KernelType::kEpanechnikov:
+      return 2.2360679774997896;  // sqrt(5)
+    case KernelType::kQuartic:
+      return 2.6451905283833983;  // sqrt(7)
+    case KernelType::kTriangular:
+      return 2.4494897427831779;  // sqrt(6)
+    case KernelType::kUniform:
+      return 1.7320508075688772;  // sqrt(3)
+    case KernelType::kGaussian:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+const char* KernelTypeName(KernelType type) {
+  switch (type) {
+    case KernelType::kEpanechnikov:
+      return "epanechnikov";
+    case KernelType::kQuartic:
+      return "quartic";
+    case KernelType::kTriangular:
+      return "triangular";
+    case KernelType::kUniform:
+      return "uniform";
+    case KernelType::kGaussian:
+      return "gaussian";
+  }
+  return "unknown";
+}
+
+}  // namespace dbs::density

@@ -1,0 +1,40 @@
+// One-dimensional kernel functions.
+//
+// The multi-dimensional estimators in this module use product kernels:
+// K_d(u_1..u_d) = prod_j K(u_j), where K is one of the kernels below. Each
+// kernel integrates to 1 over the real line. Epanechnikov is the paper's
+// choice (§4.2) and is optimal in the asymptotic MISE sense; its compact
+// support is what makes the KDE grid index effective.
+
+#ifndef DBS_DENSITY_KERNEL_H_
+#define DBS_DENSITY_KERNEL_H_
+
+namespace dbs::density {
+
+enum class KernelType {
+  kEpanechnikov = 0,  // 3/4 (1 - u^2) on [-1, 1]
+  kQuartic,           // 15/16 (1 - u^2)^2 on [-1, 1] (biweight)
+  kTriangular,        // 1 - |u| on [-1, 1]
+  kUniform,           // 1/2 on [-1, 1]
+  kGaussian,          // standard normal, truncated at |u| <= 4 in practice
+};
+
+// Kernel value K(u). Returns 0 outside the support.
+double KernelValue(KernelType type, double u);
+
+// Radius of the kernel's support in scaled units: K(u) = 0 for |u| > radius.
+// The Gaussian is treated as supported on [-4, 4] (mass beyond is < 7e-5);
+// the truncation error is absorbed into the estimator's normalization.
+double KernelSupportRadius(KernelType type);
+
+// The canonical-bandwidth factor delta_0(K) relating the kernel to the
+// normal-reference rule: h = delta * sigma * n^(-1/(d+4)). For the
+// Epanechnikov kernel delta = sqrt(5) (Scott 1992); for the Gaussian 1.
+double KernelCanonicalBandwidth(KernelType type);
+
+// Short stable name for reports ("epanechnikov", ...).
+const char* KernelTypeName(KernelType type);
+
+}  // namespace dbs::density
+
+#endif  // DBS_DENSITY_KERNEL_H_

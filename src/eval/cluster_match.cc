@@ -1,0 +1,51 @@
+#include "eval/cluster_match.h"
+
+namespace dbs::eval {
+
+MatchResult MatchClusters(const cluster::ClusteringResult& result,
+                          const synth::GroundTruth& truth,
+                          const MatchOptions& options) {
+  MatchResult match;
+  match.found.assign(truth.regions.size(), false);
+  for (const cluster::Cluster& c : result.clusters) {
+    const data::PointSet& reps = c.representatives;
+    if (reps.empty()) continue;
+    for (size_t r = 0; r < truth.regions.size(); ++r) {
+      int64_t inside = 0;
+      for (int64_t i = 0; i < reps.size(); ++i) {
+        if (truth.regions[r].ContainsInterior(reps[i],
+                                              options.interior_margin)) {
+          ++inside;
+        }
+      }
+      double frac = static_cast<double>(inside) /
+                    static_cast<double>(reps.size());
+      if (frac >= options.representative_fraction) {
+        match.found[r] = true;
+        break;  // a cluster's reps can dominate only one region
+      }
+    }
+  }
+  return match;
+}
+
+MatchResult MatchBirchClusters(const cluster::BirchResult& result,
+                               const synth::GroundTruth& truth,
+                               const MatchOptions& options) {
+  MatchResult match;
+  match.found.assign(truth.regions.size(), false);
+  for (const cluster::BirchCluster& c : result.clusters) {
+    data::PointView center(c.center.data(),
+                           static_cast<int>(c.center.size()));
+    for (size_t r = 0; r < truth.regions.size(); ++r) {
+      if (truth.regions[r].ContainsInterior(center,
+                                            options.interior_margin)) {
+        match.found[r] = true;
+        break;
+      }
+    }
+  }
+  return match;
+}
+
+}  // namespace dbs::eval

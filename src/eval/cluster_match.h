@@ -1,0 +1,54 @@
+// Matching found clusters against ground truth (paper §4.2).
+//
+// Hierarchical/CURE results: "a cluster is found if at least 90% of its
+// representative points are in the interior of the same cluster in the
+// synthetic dataset". BIRCH reports centers and radii, so "if it reports a
+// cluster center that lies in the interior of a cluster ... this cluster is
+// found". Both rules are implemented here; the count of DISTINCT true
+// clusters found is the y-axis of Figs 4-7.
+
+#ifndef DBS_EVAL_CLUSTER_MATCH_H_
+#define DBS_EVAL_CLUSTER_MATCH_H_
+
+#include <vector>
+
+#include "cluster/birch.h"
+#include "cluster/clustering.h"
+#include "synth/cluster_spec.h"
+
+namespace dbs::eval {
+
+struct MatchOptions {
+  // Fraction of a found cluster's representatives that must land in one
+  // true region (the paper's 90%).
+  double representative_fraction = 0.9;
+  // Interior margin passed to Region::ContainsInterior.
+  double interior_margin = 0.0;
+};
+
+struct MatchResult {
+  // found[r] == true when true region r was matched by some found cluster.
+  std::vector<bool> found;
+
+  int num_found() const {
+    int count = 0;
+    for (bool f : found) {
+      if (f) ++count;
+    }
+    return count;
+  }
+};
+
+// CURE-style rule over representative points.
+MatchResult MatchClusters(const cluster::ClusteringResult& result,
+                          const synth::GroundTruth& truth,
+                          const MatchOptions& options = {});
+
+// BIRCH rule over reported centers.
+MatchResult MatchBirchClusters(const cluster::BirchResult& result,
+                               const synth::GroundTruth& truth,
+                               const MatchOptions& options = {});
+
+}  // namespace dbs::eval
+
+#endif  // DBS_EVAL_CLUSTER_MATCH_H_

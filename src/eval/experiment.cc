@@ -1,0 +1,17 @@
+#include "eval/experiment.h"
+
+#include "util/check.h"
+
+namespace dbs::eval {
+
+OnlineMoments RunTrials(int num_trials,
+                        const std::function<double(uint64_t seed)>& trial) {
+  DBS_CHECK(num_trials > 0);
+  OnlineMoments moments;
+  for (int t = 0; t < num_trials; ++t) {
+    moments.Add(trial(static_cast<uint64_t>(t)));
+  }
+  return moments;
+}
+
+}  // namespace dbs::eval

@@ -1,0 +1,41 @@
+// Small experiment-harness utilities shared by the benches: wall-clock
+// timing and multi-seed trial aggregation.
+
+#ifndef DBS_EVAL_EXPERIMENT_H_
+#define DBS_EVAL_EXPERIMENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "util/stats.h"
+
+namespace dbs::eval {
+
+// Steady-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Runs `trial(seed)` for seeds [0, num_trials) and aggregates the returned
+// metric. Benches use this to smooth the randomized pipelines the same way
+// the paper averages over runs.
+OnlineMoments RunTrials(int num_trials,
+                        const std::function<double(uint64_t seed)>& trial);
+
+}  // namespace dbs::eval
+
+#endif  // DBS_EVAL_EXPERIMENT_H_

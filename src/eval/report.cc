@@ -1,0 +1,86 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace dbs::eval {
+
+Table::Table(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  DBS_CHECK(!columns_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  DBS_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::Int(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto format_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += "| ";
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+  std::string rule = "+";
+  for (size_t w : widths) {
+    rule.append(w + 2, '-');
+    rule += "+";
+  }
+  rule += "\n";
+
+  std::string out = rule + format_row(columns_) + rule;
+  for (const auto& row : rows_) out += format_row(row);
+  out += rule;
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += ",";
+    out += columns_[c];
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ",";
+      out += row[c];
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void Table::Print(const std::string& title) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), ToString().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace dbs::eval

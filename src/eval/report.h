@@ -1,0 +1,39 @@
+// Fixed-width table printing for the bench binaries, so every figure/table
+// reproduction emits the same aligned rows (and optional CSV) the
+// EXPERIMENTS.md records.
+
+#ifndef DBS_EVAL_REPORT_H_
+#define DBS_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace dbs::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  // Adds a row; cell count must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 2);
+  static std::string Int(int64_t value);
+
+  // Aligned, ruled table.
+  std::string ToString() const;
+  // Comma-separated (header + rows).
+  std::string ToCsv() const;
+
+  // Prints ToString() to stdout with a title line.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbs::eval
+
+#endif  // DBS_EVAL_REPORT_H_

@@ -1,0 +1,76 @@
+#include "eval/sample_quality.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace dbs::eval {
+
+double EffectiveSampleSize(const core::BiasedSample& sample) {
+  if (sample.inclusion_probs.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double p : sample.inclusion_probs) {
+    DBS_CHECK(p > 0);
+    double w = 1.0 / p;
+    sum += w;
+    sum_sq += w * w;
+  }
+  return sum * sum / sum_sq;
+}
+
+DecileShares DensityDecileShares(const core::BiasedSample& sample) {
+  const size_t n = sample.densities.size();
+  DBS_CHECK_MSG(n > 0, "sample has no recorded densities");
+  DBS_CHECK(sample.inclusion_probs.size() == n);
+
+  // Order points by density.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return sample.densities[a] < sample.densities[b];
+  });
+
+  double total_weight = 0.0;
+  for (double p : sample.inclusion_probs) total_weight += 1.0 / p;
+
+  DecileShares shares;
+  shares.density_boundaries.resize(10);
+  shares.unweighted_share.assign(10, 0.0);
+  shares.weighted_share.assign(10, 0.0);
+  for (int d = 0; d < 10; ++d) {
+    size_t begin = n * d / 10;
+    size_t end = n * (d + 1) / 10;
+    if (end > begin) {
+      shares.density_boundaries[d] = sample.densities[order[end - 1]];
+    } else if (d > 0) {
+      shares.density_boundaries[d] = shares.density_boundaries[d - 1];
+    }
+    double weight = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      weight += 1.0 / sample.inclusion_probs[order[i]];
+    }
+    shares.unweighted_share[d] =
+        static_cast<double>(end - begin) / static_cast<double>(n);
+    shares.weighted_share[d] = total_weight > 0 ? weight / total_weight : 0;
+  }
+  return shares;
+}
+
+double EstimatedClusterMassFraction(const core::BiasedSample& sample,
+                                    double density_threshold) {
+  const size_t n = sample.densities.size();
+  if (n == 0) return 0.0;
+  DBS_CHECK(sample.inclusion_probs.size() == n);
+  double total = 0.0;
+  double dense = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double w = 1.0 / sample.inclusion_probs[i];
+    total += w;
+    if (sample.densities[i] > density_threshold) dense += w;
+  }
+  return total > 0 ? dense / total : 0.0;
+}
+
+}  // namespace dbs::eval

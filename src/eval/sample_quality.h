@@ -1,0 +1,57 @@
+// Diagnostics for a drawn biased sample.
+//
+// The paper motivates biased sampling as a fast triage step ("a quick way
+// to decide if the dataset is worthy of further exploration", §1). These
+// diagnostics answer the triage questions from the sample alone, without
+// another data pass:
+//
+//   * EffectiveSampleSize — Kish's n_eff = (Σw)² / Σw²: how many uniform
+//     samples this weighted sample is statistically worth. A biased sample
+//     whose n_eff collapsed is being dominated by a few huge weights.
+//   * DensityDecileShares — the sample mass per decile of the sampled
+//     densities, weighted vs unweighted: shows where the exponent actually
+//     concentrated the sample, and the weighted column should be ~uniform
+//     if the weights undo the bias correctly.
+//   * EstimatedClusterMassFraction — Horvitz-Thompson estimate of the
+//     fraction of the DATASET lying in regions denser than a threshold
+//     (e.g. 2x the average density): high values suggest clusters exist
+//     and further exploration is warranted.
+
+#ifndef DBS_EVAL_SAMPLE_QUALITY_H_
+#define DBS_EVAL_SAMPLE_QUALITY_H_
+
+#include <vector>
+
+#include "core/sample.h"
+
+namespace dbs::eval {
+
+// Kish's effective sample size of the Horvitz-Thompson weights.
+// Equals size() exactly when all inclusion probabilities are equal.
+double EffectiveSampleSize(const core::BiasedSample& sample);
+
+struct DecileShares {
+  // Density value at each decile boundary of the SAMPLED points (10
+  // entries: 10%, 20%, ..., 100%).
+  std::vector<double> density_boundaries;
+  // Fraction of sample POINTS per decile (uniform 0.1 by construction).
+  std::vector<double> unweighted_share;
+  // Fraction of estimated DATASET mass per decile (HT-weighted). Close to
+  // the data's own density distribution when the weights are consistent.
+  std::vector<double> weighted_share;
+};
+
+// Splits the sample into deciles by recorded density and reports the
+// weighted and unweighted mass per decile. Requires a non-empty sample
+// with recorded densities.
+DecileShares DensityDecileShares(const core::BiasedSample& sample);
+
+// Horvitz-Thompson estimate of the fraction of the dataset whose local
+// density exceeds `density_threshold` (use e.g. 2x the estimator's
+// AverageDensity). In [0, 1].
+double EstimatedClusterMassFraction(const core::BiasedSample& sample,
+                                    double density_threshold);
+
+}  // namespace dbs::eval
+
+#endif  // DBS_EVAL_SAMPLE_QUALITY_H_

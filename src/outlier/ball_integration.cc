@@ -1,0 +1,145 @@
+#include "outlier/ball_integration.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dbs::outlier {
+namespace {
+
+// Fills out[0..d) with the `index`-th point of a low-discrepancy sequence
+// uniform over the L2 unit ball (rejection from the cube; deterministic).
+bool TryL2Point(uint64_t index, int dim, double* out) {
+  double norm2 = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    out[j] = 2.0 * HaltonValue(index, SmallPrime(j % 16)) - 1.0;
+    norm2 += out[j] * out[j];
+  }
+  return norm2 <= 1.0;
+}
+
+// Deterministic uniform point in the L1 unit ball via the exponential
+// simplex map: t_i = g_i / (g_1 + ... + g_{d+1}) with g = -log(u) puts
+// (t_1..t_d) uniform over the standard simplex; random signs extend it to
+// the cross-polytope. Consumes 2d+1 Halton bases.
+void L1Point(uint64_t index, int dim, double* out) {
+  DBS_CHECK(dim <= 7);
+  double g_sum = 0.0;
+  double g[8];
+  for (int j = 0; j < dim; ++j) {
+    double u = HaltonValue(index, SmallPrime(j));
+    g[j] = -std::log(u);
+    g_sum += g[j];
+  }
+  g_sum += -std::log(HaltonValue(index, SmallPrime(dim)));
+  for (int j = 0; j < dim; ++j) {
+    double sign =
+        HaltonValue(index, SmallPrime(dim + 1 + j)) < 0.5 ? -1.0 : 1.0;
+    out[j] = sign * g[j] / g_sum;
+  }
+}
+
+void LinfPoint(uint64_t index, int dim, double* out) {
+  for (int j = 0; j < dim; ++j) {
+    out[j] = 2.0 * HaltonValue(index, SmallPrime(j % 16)) - 1.0;
+  }
+}
+
+}  // namespace
+
+BallIntegrator::BallIntegrator(BallIntegration method, int dim,
+                               int num_samples, data::Metric metric)
+    : method_(method), dim_(dim), metric_(metric) {
+  DBS_CHECK(dim > 0);
+  if (method_ != BallIntegration::kQuasiMonteCarlo) return;
+  DBS_CHECK(num_samples > 0);
+  unit_offsets_.reserve(static_cast<size_t>(num_samples) * dim);
+  uint64_t index = 0;
+  int kept = 0;
+  std::vector<double> candidate(dim);
+  while (kept < num_samples) {
+    bool accept = true;
+    switch (metric_) {
+      case data::Metric::kL2:
+        accept = TryL2Point(index, dim_, candidate.data());
+        break;
+      case data::Metric::kL1:
+        L1Point(index, dim_, candidate.data());
+        break;
+      case data::Metric::kLinf:
+        LinfPoint(index, dim_, candidate.data());
+        break;
+    }
+    ++index;
+    if (!accept) {
+      // Safety: in high dimensions the L2 ball occupies a vanishing
+      // fraction of the cube; bail out to whatever was kept after a
+      // generous budget.
+      if (index > static_cast<uint64_t>(num_samples) * 10000ULL &&
+          kept > 0) {
+        break;
+      }
+      continue;
+    }
+    unit_offsets_.insert(unit_offsets_.end(), candidate.begin(),
+                         candidate.end());
+    ++kept;
+  }
+}
+
+double BallIntegrator::Volume(double radius) const {
+  switch (metric_) {
+    case data::Metric::kL2:
+      return BallVolume(dim_, radius);
+    case data::Metric::kL1:
+      return CrossPolytopeVolume(dim_, radius);
+    case data::Metric::kLinf:
+      return CubeVolume(dim_, radius);
+  }
+  return 0.0;
+}
+
+double BallIntegrator::Integrate(const density::DensityEstimator& estimator,
+                                 data::PointView p, double radius) const {
+  DBS_CHECK(p.dim() == dim_);
+  DBS_CHECK(radius >= 0);
+  double volume = Volume(radius);
+  if (method_ == BallIntegration::kCenterValue) {
+    return estimator.Evaluate(p) * volume;
+  }
+  const int64_t m = static_cast<int64_t>(unit_offsets_.size()) / dim_;
+  DBS_CHECK(m > 0);
+  double sum = 0.0;
+  std::vector<double> probe(dim_);
+  for (int64_t s = 0; s < m; ++s) {
+    const double* off = unit_offsets_.data() + s * dim_;
+    for (int j = 0; j < dim_; ++j) probe[j] = p[j] + radius * off[j];
+    sum += estimator.Evaluate(data::PointView(probe.data(), dim_));
+  }
+  return sum / static_cast<double>(m) * volume;
+}
+
+double BallIntegrator::IntegrateExcludingSelf(
+    const density::DensityEstimator& estimator, data::PointView p,
+    double radius) const {
+  DBS_CHECK(p.dim() == dim_);
+  DBS_CHECK(radius >= 0);
+  double volume = Volume(radius);
+  if (method_ == BallIntegration::kCenterValue) {
+    return estimator.EvaluateExcluding(p, p) * volume;
+  }
+  const int64_t m = static_cast<int64_t>(unit_offsets_.size()) / dim_;
+  DBS_CHECK(m > 0);
+  double sum = 0.0;
+  std::vector<double> probe(dim_);
+  for (int64_t s = 0; s < m; ++s) {
+    const double* off = unit_offsets_.data() + s * dim_;
+    for (int j = 0; j < dim_; ++j) probe[j] = p[j] + radius * off[j];
+    sum += estimator.EvaluateExcluding(data::PointView(probe.data(), dim_),
+                                       p);
+  }
+  return sum / static_cast<double>(m) * volume;
+}
+
+}  // namespace dbs::outlier

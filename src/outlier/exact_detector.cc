@@ -1,0 +1,84 @@
+#include "outlier/exact_detector.h"
+
+#include "data/distance.h"
+#include "data/kd_tree.h"
+
+namespace dbs::outlier {
+namespace {
+
+Status ValidateParams(const data::PointSet& points,
+                      const DbOutlierParams& params) {
+  if (points.empty()) {
+    return Status::InvalidArgument("cannot detect outliers in an empty set");
+  }
+  if (params.radius < 0) {
+    return Status::InvalidArgument("radius cannot be negative");
+  }
+  if (params.max_neighbor_fraction < 0 && params.max_neighbors < 0) {
+    return Status::InvalidArgument("neighbor bound cannot be negative");
+  }
+  if (params.max_neighbor_fraction > 1) {
+    return Status::InvalidArgument("neighbor fraction cannot exceed 1");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
+                                          const DbOutlierParams& params) {
+  DBS_RETURN_IF_ERROR(ValidateParams(points, params));
+  const int64_t n = points.size();
+  const int64_t p = params.NeighborBound(n);
+
+  data::KdTree tree(&points);
+  OutlierReport report;
+  report.passes = 1;
+  for (int64_t i = 0; i < n; ++i) {
+    // Count includes the point itself; abort once p+1 OTHER neighbors are
+    // certain (i.e. p+2 counting self).
+    int64_t count = tree.CountWithinRadiusMetric(points[i], params.radius,
+                                                 params.metric,
+                                                 /*cap=*/p + 1);
+    int64_t neighbors = count - 1;  // exclude self
+    if (neighbors <= p) {
+      report.outlier_indices.push_back(i);
+      report.neighbor_counts.push_back(neighbors);
+    }
+  }
+  report.candidates_checked = n;
+  return report;
+}
+
+Result<OutlierReport> DetectOutliersNestedLoop(const data::PointSet& points,
+                                               const DbOutlierParams& params) {
+  DBS_RETURN_IF_ERROR(ValidateParams(points, params));
+  const int64_t n = points.size();
+  const int64_t p = params.NeighborBound(n);
+
+  OutlierReport report;
+  report.passes = 1;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t neighbors = 0;
+    bool outlier = true;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (data::Distance(points[i], points[j], params.metric) <=
+          params.radius) {
+        ++neighbors;
+        if (neighbors > p) {
+          outlier = false;
+          break;
+        }
+      }
+    }
+    if (outlier) {
+      report.outlier_indices.push_back(i);
+      report.neighbor_counts.push_back(neighbors);
+    }
+  }
+  report.candidates_checked = n;
+  return report;
+}
+
+}  // namespace dbs::outlier

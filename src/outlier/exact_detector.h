@@ -1,0 +1,29 @@
+// Exact DB(p,k)-outlier detection baselines.
+//
+// Two variants over an in-memory point set:
+//  * kd-tree: counts neighbors with early abort at p+1 per point — the
+//    strong exact baseline.
+//  * nested loop: the classic O(n^2) block scan with the same early abort,
+//    kept as the reference the kd-tree version is validated against and as
+//    the "what the paper is trying to avoid" cost yardstick.
+
+#ifndef DBS_OUTLIER_EXACT_DETECTOR_H_
+#define DBS_OUTLIER_EXACT_DETECTOR_H_
+
+#include "data/point_set.h"
+#include "outlier/db_outlier.h"
+#include "util/status.h"
+
+namespace dbs::outlier {
+
+// Exact detection with a kd-tree (includes building the tree).
+Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
+                                          const DbOutlierParams& params);
+
+// Exact detection by nested-loop scan with early termination.
+Result<OutlierReport> DetectOutliersNestedLoop(const data::PointSet& points,
+                                               const DbOutlierParams& params);
+
+}  // namespace dbs::outlier
+
+#endif  // DBS_OUTLIER_EXACT_DETECTOR_H_

@@ -1,0 +1,156 @@
+#include "outlier/kde_detector.h"
+
+#include <vector>
+
+#include "data/kd_tree.h"
+
+namespace dbs::outlier {
+namespace {
+
+Status ValidateArgs(const data::DataScan& scan,
+                    const density::DensityEstimator& estimator,
+                    const DbOutlierParams& params,
+                    const KdeDetectorOptions& options) {
+  if (scan.size() == 0) {
+    return Status::InvalidArgument("cannot detect outliers in an empty set");
+  }
+  if (scan.dim() != estimator.dim()) {
+    return Status::InvalidArgument(
+        "estimator dimensionality does not match the scan");
+  }
+  if (params.radius < 0) {
+    return Status::InvalidArgument("radius cannot be negative");
+  }
+  if (params.max_neighbor_fraction > 1) {
+    return Status::InvalidArgument("neighbor fraction cannot exceed 1");
+  }
+  if (params.max_neighbor_fraction < 0 && params.max_neighbors < 0) {
+    return Status::InvalidArgument("neighbor bound cannot be negative");
+  }
+  if (options.candidate_slack <= 0) {
+    return Status::InvalidArgument("candidate_slack must be positive");
+  }
+  if (options.qmc_samples <= 0) {
+    return Status::InvalidArgument("qmc_samples must be positive");
+  }
+  if (options.max_candidates <= 0) {
+    return Status::InvalidArgument("max_candidates must be positive");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<OutlierReport> DetectOutliersApproximate(
+    data::DataScan& scan, const density::DensityEstimator& estimator,
+    const DbOutlierParams& params, const KdeDetectorOptions& options) {
+  DBS_RETURN_IF_ERROR(ValidateArgs(scan, estimator, params, options));
+  const int dim = scan.dim();
+  const int64_t n = scan.size();
+  const int64_t p = params.NeighborBound(n);
+  const double threshold =
+      options.candidate_slack * static_cast<double>(p + 1);
+  const BallIntegrator integrator(options.integration, dim,
+                                  options.qmc_samples, params.metric);
+
+  // Pass 1: score every point; keep the likely outliers.
+  data::PointSet candidates(dim);
+  std::vector<int64_t> candidate_indices;
+  {
+    scan.Reset();
+    data::ScanBatch batch;
+    int64_t row = 0;
+    while (scan.NextBatch(&batch)) {
+      for (int64_t i = 0; i < batch.count; ++i, ++row) {
+        data::PointView x = batch.point(i, dim);
+        double expected =
+            integrator.IntegrateExcludingSelf(estimator, x, params.radius);
+        if (expected <= threshold) {
+          if (static_cast<int64_t>(candidate_indices.size()) >=
+              options.max_candidates) {
+            return Status::FailedPrecondition(
+                "candidate set exceeded max_candidates; lower the slack or "
+                "raise p/k");
+          }
+          candidates.Append(x);
+          candidate_indices.push_back(row);
+        }
+      }
+    }
+  }
+
+  OutlierReport report;
+  report.candidates_checked = candidates.size();
+  if (candidates.empty()) {
+    report.passes = 1;
+    return report;
+  }
+
+  // Pass 2: exact neighbor counts for the candidates. A kd-tree over the
+  // (small) candidate set turns the pass into "for each data point, bump
+  // every candidate within radius".
+  data::KdTree tree(&candidates);
+  std::vector<int64_t> counts(static_cast<size_t>(candidates.size()), 0);
+  {
+    scan.Reset();
+    data::ScanBatch batch;
+    while (scan.NextBatch(&batch)) {
+      for (int64_t i = 0; i < batch.count; ++i) {
+        data::PointView x = batch.point(i, dim);
+        for (int64_t c :
+             tree.WithinRadiusMetric(x, params.radius, params.metric)) {
+          ++counts[static_cast<size_t>(c)];
+        }
+      }
+    }
+  }
+
+  // Each candidate counted itself once (it appears in the scan).
+  for (size_t c = 0; c < counts.size(); ++c) {
+    int64_t neighbors = counts[c] - 1;
+    if (neighbors <= p) {
+      report.outlier_indices.push_back(candidate_indices[c]);
+      report.neighbor_counts.push_back(neighbors);
+    }
+  }
+  report.passes = 2;
+  return report;
+}
+
+Result<OutlierReport> DetectOutliersApproximate(
+    const data::PointSet& points, const density::DensityEstimator& estimator,
+    const DbOutlierParams& params, const KdeDetectorOptions& options) {
+  data::InMemoryScan scan(&points);
+  return DetectOutliersApproximate(scan, estimator, params, options);
+}
+
+Result<int64_t> EstimateOutlierCount(
+    data::DataScan& scan, const density::DensityEstimator& estimator,
+    const DbOutlierParams& params, const KdeDetectorOptions& options) {
+  DBS_RETURN_IF_ERROR(ValidateArgs(scan, estimator, params, options));
+  const int dim = scan.dim();
+  const int64_t p = params.NeighborBound(scan.size());
+  const BallIntegrator integrator(options.integration, dim,
+                                  options.qmc_samples, params.metric);
+  const double threshold = static_cast<double>(p + 1);
+  int64_t count = 0;
+  scan.Reset();
+  data::ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      double expected = integrator.IntegrateExcludingSelf(
+          estimator, batch.point(i, dim), params.radius);
+      if (expected <= threshold) ++count;
+    }
+  }
+  return count;
+}
+
+Result<int64_t> EstimateOutlierCount(
+    const data::PointSet& points, const density::DensityEstimator& estimator,
+    const DbOutlierParams& params, const KdeDetectorOptions& options) {
+  data::InMemoryScan scan(&points);
+  return EstimateOutlierCount(scan, estimator, params, options);
+}
+
+}  // namespace dbs::outlier

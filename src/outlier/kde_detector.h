@@ -1,0 +1,73 @@
+// Approximate DB(p,k)-outlier detection via a density estimate (paper §3.2).
+//
+// The detector scores each point O with N'(O, k) = integral of the density
+// estimator over Ball(O, k) — the expected number of neighbors within
+// distance k. Points whose expected neighbor count is small are LIKELY
+// outliers; they are kept as candidates and verified with exact neighbor
+// counts in one more pass. Including the estimator-fitting pass, the whole
+// procedure reads the dataset at most three times (§4.5 reports "all the
+// outliers with at most two dataset passes plus the pass that computes the
+// density estimator"), regardless of dataset size — versus the quadratic
+// exact nested loop.
+//
+// The candidate threshold is slack * (p + 1): `slack` > 1 absorbs estimator
+// error so true outliers are not pruned before verification (recall), at
+// the cost of more candidates to verify (work). bench/outlier_detection
+// sweeps this tradeoff.
+//
+// The same scoring supports a zero-verification estimate of HOW MANY
+// DB(p,k)-outliers a dataset has — the cheap exploration mode the paper
+// highlights for picking p and k.
+
+#ifndef DBS_OUTLIER_KDE_DETECTOR_H_
+#define DBS_OUTLIER_KDE_DETECTOR_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/point_set.h"
+#include "density/density_estimator.h"
+#include "outlier/ball_integration.h"
+#include "outlier/db_outlier.h"
+#include "util/status.h"
+
+namespace dbs::outlier {
+
+struct KdeDetectorOptions {
+  BallIntegration integration = BallIntegration::kCenterValue;
+  // Probes per ball for the quasi-Monte-Carlo method.
+  int qmc_samples = 64;
+  // Candidate threshold multiplier (see header comment).
+  double candidate_slack = 2.0;
+  // Hard cap on retained candidates; exceeding it aborts with
+  // FailedPrecondition (raise the slack down or p up instead of thrashing).
+  int64_t max_candidates = 1000000;
+};
+
+// Full detection: scoring pass + verification pass over `scan`.
+// `estimator` must be fitted on the same data.
+Result<OutlierReport> DetectOutliersApproximate(
+    data::DataScan& scan, const density::DensityEstimator& estimator,
+    const DbOutlierParams& params, const KdeDetectorOptions& options);
+
+Result<OutlierReport> DetectOutliersApproximate(
+    const data::PointSet& points,
+    const density::DensityEstimator& estimator, const DbOutlierParams& params,
+    const KdeDetectorOptions& options);
+
+// One scoring pass only: the number of points whose EXPECTED neighbor
+// count is within the (un-slacked) bound — a fast estimate of the outlier
+// count for parameter exploration.
+Result<int64_t> EstimateOutlierCount(data::DataScan& scan,
+                                     const density::DensityEstimator& estimator,
+                                     const DbOutlierParams& params,
+                                     const KdeDetectorOptions& options);
+
+Result<int64_t> EstimateOutlierCount(const data::PointSet& points,
+                                     const density::DensityEstimator& estimator,
+                                     const DbOutlierParams& params,
+                                     const KdeDetectorOptions& options);
+
+}  // namespace dbs::outlier
+
+#endif  // DBS_OUTLIER_KDE_DETECTOR_H_

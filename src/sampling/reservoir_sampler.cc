@@ -1,0 +1,47 @@
+#include "sampling/reservoir_sampler.h"
+
+namespace dbs::sampling {
+
+Reservoir::Reservoir(int64_t capacity, int dim, uint64_t seed)
+    : capacity_(capacity), sample_(dim), rng_(seed) {
+  DBS_CHECK(capacity > 0);
+  sample_.Reserve(capacity);
+}
+
+void Reservoir::Offer(data::PointView p) {
+  if (seen_ < capacity_) {
+    sample_.Append(p);
+  } else {
+    int64_t slot = static_cast<int64_t>(
+        rng_.NextBounded(static_cast<uint64_t>(seen_ + 1)));
+    if (slot < capacity_) {
+      double* dst = sample_.MutableRow(slot);
+      for (int j = 0; j < p.dim(); ++j) dst[j] = p[j];
+    }
+  }
+  ++seen_;
+}
+
+Result<data::PointSet> ReservoirSample(data::DataScan& scan, int64_t k,
+                                       uint64_t seed) {
+  if (k <= 0) {
+    return Status::InvalidArgument("reservoir capacity must be positive");
+  }
+  Reservoir reservoir(k, scan.dim(), seed);
+  scan.Reset();
+  data::ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      reservoir.Offer(batch.point(i, scan.dim()));
+    }
+  }
+  return reservoir.sample();
+}
+
+Result<data::PointSet> ReservoirSample(const data::PointSet& points,
+                                       int64_t k, uint64_t seed) {
+  data::InMemoryScan scan(&points);
+  return ReservoirSample(scan, k, seed);
+}
+
+}  // namespace dbs::sampling

@@ -1,0 +1,47 @@
+// Fixed-size reservoir sampling (Vitter 1985, Algorithm R).
+//
+// Produces a uniform sample of EXACTLY min(k, N) rows in one pass without
+// knowing N in advance. The KDE uses the same technique internally to pick
+// kernel centers; this standalone version serves pipelines that need an
+// exact-size uniform sample (e.g. seeding k-means).
+
+#ifndef DBS_SAMPLING_RESERVOIR_SAMPLER_H_
+#define DBS_SAMPLING_RESERVOIR_SAMPLER_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/point_set.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dbs::sampling {
+
+// Streaming reservoir of capacity k over points of a fixed dimension.
+class Reservoir {
+ public:
+  Reservoir(int64_t capacity, int dim, uint64_t seed);
+
+  // Offers one point to the reservoir.
+  void Offer(data::PointView p);
+
+  int64_t seen() const { return seen_; }
+  const data::PointSet& sample() const { return sample_; }
+
+ private:
+  int64_t capacity_;
+  int64_t seen_ = 0;
+  data::PointSet sample_;
+  Rng rng_;
+};
+
+// One-pass exact-size uniform sample of `scan`.
+Result<data::PointSet> ReservoirSample(data::DataScan& scan, int64_t k,
+                                       uint64_t seed);
+
+Result<data::PointSet> ReservoirSample(const data::PointSet& points,
+                                       int64_t k, uint64_t seed);
+
+}  // namespace dbs::sampling
+
+#endif  // DBS_SAMPLING_RESERVOIR_SAMPLER_H_

@@ -1,0 +1,41 @@
+#include "sampling/uniform_sampler.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace dbs::sampling {
+
+Result<data::PointSet> BernoulliSample(data::DataScan& scan,
+                                       const BernoulliSampleOptions& options) {
+  if (options.target_size <= 0) {
+    return Status::InvalidArgument("target_size must be positive");
+  }
+  const int64_t n = scan.size();
+  if (n == 0) {
+    return data::PointSet(scan.dim());
+  }
+  const double rate = std::min(
+      1.0, static_cast<double>(options.target_size) / static_cast<double>(n));
+  Rng rng(options.seed);
+  data::PointSet out(scan.dim());
+  out.Reserve(options.target_size + options.target_size / 4);
+  scan.Reset();
+  data::ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    for (int64_t i = 0; i < batch.count; ++i) {
+      if (rng.NextBernoulli(rate)) {
+        out.Append(batch.point(i, scan.dim()));
+      }
+    }
+  }
+  return out;
+}
+
+Result<data::PointSet> BernoulliSample(const data::PointSet& points,
+                                       const BernoulliSampleOptions& options) {
+  data::InMemoryScan scan(&points);
+  return BernoulliSample(scan, options);
+}
+
+}  // namespace dbs::sampling

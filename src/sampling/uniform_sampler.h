@@ -1,0 +1,35 @@
+// Uniform random sampling baselines.
+//
+// BernoulliSample is the paper's uniform sampler (§4.2): read the dataset
+// size N, then scan once keeping each point with probability b/N, so the
+// EXPECTED sample size is b. This is the baseline every biased-sampling
+// experiment compares against.
+
+#ifndef DBS_SAMPLING_UNIFORM_SAMPLER_H_
+#define DBS_SAMPLING_UNIFORM_SAMPLER_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/point_set.h"
+#include "util/status.h"
+
+namespace dbs::sampling {
+
+struct BernoulliSampleOptions {
+  // Expected sample size b.
+  int64_t target_size = 1000;
+  uint64_t seed = 1;
+};
+
+// One pass; each row kept independently with probability target_size / N
+// (clamped to 1). Returns the sampled points.
+Result<data::PointSet> BernoulliSample(data::DataScan& scan,
+                                       const BernoulliSampleOptions& options);
+
+Result<data::PointSet> BernoulliSample(const data::PointSet& points,
+                                       const BernoulliSampleOptions& options);
+
+}  // namespace dbs::sampling
+
+#endif  // DBS_SAMPLING_UNIFORM_SAMPLER_H_

@@ -1,0 +1,111 @@
+#include "synth/cluster_spec.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace dbs::synth {
+
+Region Region::Box(std::vector<double> lo, std::vector<double> hi) {
+  DBS_CHECK(!lo.empty());
+  DBS_CHECK(lo.size() == hi.size());
+  for (size_t j = 0; j < lo.size(); ++j) DBS_CHECK(lo[j] <= hi[j]);
+  Region r;
+  r.kind_ = RegionKind::kBox;
+  r.center_or_lo_ = std::move(lo);
+  r.hi_or_axes_ = std::move(hi);
+  return r;
+}
+
+Region Region::Ball(std::vector<double> center, double radius) {
+  DBS_CHECK(!center.empty());
+  DBS_CHECK(radius >= 0);
+  Region r;
+  r.kind_ = RegionKind::kBall;
+  r.center_or_lo_ = std::move(center);
+  r.radius_ = radius;
+  return r;
+}
+
+Region Region::Ellipsoid(std::vector<double> center,
+                         std::vector<double> semi_axes) {
+  DBS_CHECK(!center.empty());
+  DBS_CHECK(center.size() == semi_axes.size());
+  for (double a : semi_axes) DBS_CHECK(a >= 0);
+  Region r;
+  r.kind_ = RegionKind::kEllipsoid;
+  r.center_or_lo_ = std::move(center);
+  r.hi_or_axes_ = std::move(semi_axes);
+  return r;
+}
+
+bool Region::ContainsInterior(data::PointView p, double margin) const {
+  DBS_CHECK(p.dim() == dim());
+  DBS_CHECK(margin >= 0 && margin < 1);
+  switch (kind_) {
+    case RegionKind::kBox: {
+      for (int j = 0; j < dim(); ++j) {
+        double m = margin * (hi_or_axes_[j] - center_or_lo_[j]);
+        if (p[j] < center_or_lo_[j] + m || p[j] > hi_or_axes_[j] - m) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case RegionKind::kBall: {
+      double r = (1.0 - margin) * radius_;
+      double d2 = 0.0;
+      for (int j = 0; j < dim(); ++j) {
+        double diff = p[j] - center_or_lo_[j];
+        d2 += diff * diff;
+      }
+      return d2 <= r * r;
+    }
+    case RegionKind::kEllipsoid: {
+      double q = 0.0;
+      for (int j = 0; j < dim(); ++j) {
+        if (hi_or_axes_[j] <= 0) {
+          if (p[j] != center_or_lo_[j]) return false;
+          continue;
+        }
+        double u = (p[j] - center_or_lo_[j]) / hi_or_axes_[j];
+        q += u * u;
+      }
+      double r = 1.0 - margin;
+      return q <= r * r;
+    }
+  }
+  return false;
+}
+
+std::vector<double> Region::Center() const {
+  if (kind_ == RegionKind::kBox) {
+    std::vector<double> c(center_or_lo_.size());
+    for (size_t j = 0; j < c.size(); ++j) {
+      c[j] = 0.5 * (center_or_lo_[j] + hi_or_axes_[j]);
+    }
+    return c;
+  }
+  return center_or_lo_;
+}
+
+double Region::Volume() const {
+  switch (kind_) {
+    case RegionKind::kBox: {
+      double v = 1.0;
+      for (int j = 0; j < dim(); ++j) v *= hi_or_axes_[j] - center_or_lo_[j];
+      return v;
+    }
+    case RegionKind::kBall:
+      return BallVolume(dim(), radius_);
+    case RegionKind::kEllipsoid: {
+      double v = BallVolume(dim(), 1.0);
+      for (int j = 0; j < dim(); ++j) v *= hi_or_axes_[j];
+      return v;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace dbs::synth

@@ -1,0 +1,78 @@
+// Ground-truth geometry for synthetic datasets.
+//
+// A Region is the support of one true cluster — hyper-rectangle, ball, or
+// axis-aligned ellipsoid — with an interior test parameterized by a margin,
+// matching the paper's evaluation rule ("a cluster is found if at least 90%
+// of its representative points are in the interior of the same cluster",
+// §4.2). GroundTruth carries the regions plus the per-point labels the
+// generators emit.
+
+#ifndef DBS_SYNTH_CLUSTER_SPEC_H_
+#define DBS_SYNTH_CLUSTER_SPEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/bounds.h"
+#include "data/point_set.h"
+
+namespace dbs::synth {
+
+enum class RegionKind {
+  kBox = 0,
+  kBall,
+  kEllipsoid,
+};
+
+class Region {
+ public:
+  // Hyper-rectangle [lo, hi].
+  static Region Box(std::vector<double> lo, std::vector<double> hi);
+  // L2 ball.
+  static Region Ball(std::vector<double> center, double radius);
+  // Axis-aligned ellipsoid with the given semi-axes.
+  static Region Ellipsoid(std::vector<double> center,
+                          std::vector<double> semi_axes);
+
+  RegionKind kind() const { return kind_; }
+  int dim() const { return static_cast<int>(center_or_lo_.size()); }
+
+  // True when p lies in the region shrunk by `margin` (relative, in [0,1)):
+  // boxes shrink every side by margin * extent, balls/ellipsoids shrink
+  // their radii to (1 - margin) of the original. margin = 0 tests plain
+  // containment.
+  bool ContainsInterior(data::PointView p, double margin = 0.0) const;
+
+  // Centroid of the region.
+  std::vector<double> Center() const;
+
+  // Volume of the region.
+  double Volume() const;
+
+ private:
+  Region() = default;
+
+  RegionKind kind_ = RegionKind::kBox;
+  std::vector<double> center_or_lo_;  // box: lo; ball/ellipsoid: center
+  std::vector<double> hi_or_axes_;    // box: hi; ellipsoid: semi-axes
+  double radius_ = 0.0;               // ball only
+};
+
+struct GroundTruth {
+  std::vector<Region> regions;
+  // Per generated point: region index, or -1 for noise.
+  std::vector<int32_t> labels;
+
+  int num_true_clusters() const { return static_cast<int>(regions.size()); }
+  int64_t num_noise() const {
+    int64_t count = 0;
+    for (int32_t label : labels) {
+      if (label < 0) ++count;
+    }
+    return count;
+  }
+};
+
+}  // namespace dbs::synth
+
+#endif  // DBS_SYNTH_CLUSTER_SPEC_H_

@@ -1,0 +1,38 @@
+// "Dataset1" of the CURE paper (Guha et al., SIGMOD 1998), used by the
+// paper's Fig 3 demonstration: five clusters with different shapes and
+// densities — one big circle, two small circles, and two stacked ellipses
+// that sit close to each other. Uniform sampling splits the big cluster and
+// merges the neighboring ones; a density-biased sample with a = 0.5 keeps
+// all five (paper §4.3, Fig 3).
+
+#ifndef DBS_SYNTH_CURE_DATASET_H_
+#define DBS_SYNTH_CURE_DATASET_H_
+
+#include <cstdint>
+
+#include "synth/generator.h"
+#include "util/status.h"
+
+namespace dbs::synth {
+
+struct CureDatasetOptions {
+  // Total points across the five clusters (no noise in dataset1).
+  int64_t num_points = 100000;
+  // Optional uniform background noise, as a multiple of num_points.
+  double noise_multiplier = 0.0;
+  // Separation between the two stacked ellipses and between the two small
+  // circles. These gaps control how hard the dataset is: small uniform
+  // samples cannot resolve them (the pairs merge and the big cluster
+  // splits), which is the Fig 3 phenomenon.
+  double ellipse_gap = 0.04;
+  double circle_gap = 0.04;
+  uint64_t seed = 1;
+};
+
+// Generates the five-cluster layout in [0,1]^2. Region order: big circle,
+// upper ellipse, lower ellipse, small circle A, small circle B.
+Result<ClusteredDataset> MakeCureDataset1(const CureDatasetOptions& options);
+
+}  // namespace dbs::synth
+
+#endif  // DBS_SYNTH_CURE_DATASET_H_

@@ -1,0 +1,111 @@
+#include "synth/geo.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace dbs::synth {
+namespace {
+
+struct Metro {
+  double cx;
+  double cy;
+  double sigma;   // spread of the dense core
+  double share;   // fraction of all points
+};
+
+// Clipped Gaussian sample around a metro center.
+void MetroPoint(Rng& rng, const Metro& m, double* out) {
+  do {
+    out[0] = rng.NextGaussian(m.cx, m.sigma);
+    out[1] = rng.NextGaussian(m.cy, m.sigma);
+  } while (out[0] < 0 || out[0] > 1 || out[1] < 0 || out[1] > 1);
+}
+
+// Point scattered around the polyline through the metro centers — the
+// low-density corridor of towns between the big cities.
+void CorridorPoint(Rng& rng, const std::vector<Metro>& metros, double spread,
+                   double* out) {
+  size_t seg = rng.NextBounded(metros.size() - 1);
+  double t = rng.NextDouble();
+  double x = metros[seg].cx + t * (metros[seg + 1].cx - metros[seg].cx);
+  double y = metros[seg].cy + t * (metros[seg + 1].cy - metros[seg].cy);
+  do {
+    out[0] = rng.NextGaussian(x, spread);
+    out[1] = rng.NextGaussian(y, spread);
+  } while (out[0] < 0 || out[0] > 1 || out[1] < 0 || out[1] > 1);
+}
+
+Result<ClusteredDataset> MakeGeo(const std::vector<Metro>& metros,
+                                 double corridor_share,
+                                 double background_share,
+                                 double corridor_spread,
+                                 const GeoDatasetOptions& options) {
+  if (options.num_points < 1000) {
+    return Status::InvalidArgument("geo datasets need at least 1000 points");
+  }
+  Rng rng(options.seed);
+  ClusteredDataset out;
+  out.points = data::PointSet(2);
+  out.points.Reserve(options.num_points);
+
+  // Metro discs of radius 3 sigma define the ground-truth clusters.
+  for (const Metro& m : metros) {
+    out.truth.regions.push_back(Region::Ball({m.cx, m.cy}, 3.0 * m.sigma));
+  }
+
+  double buf[2];
+  for (size_t c = 0; c < metros.size(); ++c) {
+    int64_t count = static_cast<int64_t>(
+        metros[c].share * static_cast<double>(options.num_points));
+    for (int64_t i = 0; i < count; ++i) {
+      MetroPoint(rng, metros[c], buf);
+      out.points.Append(buf);
+      out.truth.labels.push_back(static_cast<int32_t>(c));
+    }
+  }
+  int64_t corridor = static_cast<int64_t>(
+      corridor_share * static_cast<double>(options.num_points));
+  for (int64_t i = 0; i < corridor; ++i) {
+    CorridorPoint(rng, metros, corridor_spread, buf);
+    out.points.Append(buf);
+    out.truth.labels.push_back(-1);
+  }
+  int64_t background = static_cast<int64_t>(
+      background_share * static_cast<double>(options.num_points));
+  for (int64_t i = 0; i < background; ++i) {
+    buf[0] = rng.NextDouble();
+    buf[1] = rng.NextDouble();
+    out.points.Append(buf);
+    out.truth.labels.push_back(-1);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ClusteredDataset> MakeNorthEastLike(const GeoDatasetOptions& options) {
+  // Philadelphia -> New York -> Boston, southwest to northeast.
+  const std::vector<Metro> metros{
+      {0.25, 0.20, 0.016, 0.13},  // Philadelphia
+      {0.45, 0.40, 0.020, 0.22},  // New York (largest)
+      {0.75, 0.72, 0.015, 0.11},  // Boston
+  };
+  // 46% of points in metros; 34% corridor towns; 20% scattered rural.
+  return MakeGeo(metros, /*corridor_share=*/0.34, /*background_share=*/0.20,
+                 /*corridor_spread=*/0.07, options);
+}
+
+Result<ClusteredDataset> MakeCaliforniaLike(const GeoDatasetOptions& options) {
+  GeoDatasetOptions opts = options;
+  if (opts.num_points == 130000) opts.num_points = 62553;
+  // Bay Area and Los Angeles along a long coastal line.
+  const std::vector<Metro> metros{
+      {0.30, 0.75, 0.020, 0.20},  // Bay Area
+      {0.62, 0.25, 0.024, 0.28},  // Los Angeles (largest)
+  };
+  return MakeGeo(metros, /*corridor_share=*/0.30, /*background_share=*/0.22,
+                 /*corridor_spread=*/0.09, opts);
+}
+
+}  // namespace dbs::synth

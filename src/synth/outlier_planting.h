@@ -1,0 +1,40 @@
+// Planting distance-based outliers into an existing dataset.
+//
+// Appends `count` points that are guaranteed DB(p, k)-outliers by
+// construction: each planted point keeps at least `min_distance` from every
+// existing point and from every other planted point, so with
+// k < min_distance it has zero neighbors. The outlier benches use this to
+// measure recall against a known ground truth.
+
+#ifndef DBS_SYNTH_OUTLIER_PLANTING_H_
+#define DBS_SYNTH_OUTLIER_PLANTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/point_set.h"
+#include "util/status.h"
+
+namespace dbs::synth {
+
+struct OutlierPlantingOptions {
+  int count = 10;
+  // Minimum L2 distance from all other points.
+  double min_distance = 0.2;
+  // Planting domain per dimension (defaults to [0,1] when empty).
+  std::vector<double> domain_lo;
+  std::vector<double> domain_hi;
+  // Rejection attempts before giving up.
+  int max_attempts = 100000;
+  uint64_t seed = 1;
+};
+
+// Appends planted outliers to `points` (modified in place) and returns
+// their indices. Fails if the domain cannot host `count` points at the
+// requested separation within the attempt budget.
+Result<std::vector<int64_t>> PlantOutliers(
+    data::PointSet& points, const OutlierPlantingOptions& options);
+
+}  // namespace dbs::synth
+
+#endif  // DBS_SYNTH_OUTLIER_PLANTING_H_

@@ -1,0 +1,41 @@
+// Lightweight invariant-checking macros.
+//
+// DBS_CHECK aborts with a message when an internal invariant is violated; it
+// is always on. DBS_DCHECK compiles away outside debug builds and is meant
+// for hot paths. Neither is a substitute for Status-based error handling at
+// API boundaries: use them only for conditions that indicate a bug in this
+// library, never for bad user input.
+
+#ifndef DBS_UTIL_CHECK_H_
+#define DBS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DBS_CHECK(condition)                                               \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "DBS_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define DBS_CHECK_MSG(condition, msg)                                      \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "DBS_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #condition, msg);                   \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define DBS_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define DBS_DCHECK(condition) DBS_CHECK(condition)
+#endif
+
+#endif  // DBS_UTIL_CHECK_H_

@@ -1,0 +1,66 @@
+#include "util/math.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dbs {
+
+double BallVolume(int dim, double radius) {
+  DBS_CHECK(dim > 0);
+  DBS_CHECK(radius >= 0);
+  double d = static_cast<double>(dim);
+  return std::pow(M_PI, d / 2.0) / std::tgamma(d / 2.0 + 1.0) *
+         std::pow(radius, d);
+}
+
+double CubeVolume(int dim, double radius) {
+  DBS_CHECK(dim > 0);
+  DBS_CHECK(radius >= 0);
+  return std::pow(2.0 * radius, dim);
+}
+
+double CrossPolytopeVolume(int dim, double radius) {
+  DBS_CHECK(dim > 0);
+  DBS_CHECK(radius >= 0);
+  return std::pow(2.0 * radius, dim) /
+         std::tgamma(static_cast<double>(dim) + 1.0);
+}
+
+double SafePow(double x, double a) {
+  if (x <= 0.0) return 0.0;
+  if (a == 0.0) return 1.0;
+  return std::pow(x, a);
+}
+
+double HaltonValue(uint64_t index, uint32_t base) {
+  DBS_CHECK(base >= 2);
+  double f = 1.0;
+  double r = 0.0;
+  // Skip index 0 (always 0) so sequences start inside the interval.
+  uint64_t i = index + 1;
+  while (i > 0) {
+    f /= static_cast<double>(base);
+    r += f * static_cast<double>(i % base);
+    i /= base;
+  }
+  return r;
+}
+
+uint32_t SmallPrime(int i) {
+  static constexpr uint32_t kPrimes[16] = {2,  3,  5,  7,  11, 13, 17, 19,
+                                           23, 29, 31, 37, 41, 43, 47, 53};
+  DBS_CHECK(i >= 0 && i < 16);
+  return kPrimes[i];
+}
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace dbs

@@ -1,0 +1,145 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dbs {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  state_[0] = SplitMix64(sm);
+  state_[1] = SplitMix64(sm);
+  state_[2] = SplitMix64(sm);
+  state_[3] = SplitMix64(sm);
+}
+
+Rng::Rng(uint64_t s0, uint64_t s1, uint64_t s2, uint64_t s3) : seed_(s0) {
+  state_[0] = s0;
+  state_[1] = s1;
+  state_[2] = s2;
+  state_[3] = s3;
+  // xoshiro must not be seeded with all zeros.
+  if ((s0 | s1 | s2 | s3) == 0) state_[0] = 1;
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  DBS_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  DBS_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless method with rejection.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 in (0,1] so log() is finite.
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double rate) {
+  DBS_DCHECK(rate > 0);
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+void Rng::NextInUnitBall(int dim, double* out) {
+  DBS_DCHECK(dim > 0);
+  // Rejection sampling is efficient for the dimensions this library targets
+  // (d <= ~8); fall back to the Gaussian-direction method above that.
+  if (dim <= 8) {
+    while (true) {
+      double norm2 = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        out[j] = NextDouble(-1.0, 1.0);
+        norm2 += out[j] * out[j];
+      }
+      if (norm2 <= 1.0) return;
+    }
+  }
+  double norm2 = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    out[j] = NextGaussian();
+    norm2 += out[j] * out[j];
+  }
+  double norm = std::sqrt(norm2);
+  // Radius distributed as U^(1/d) makes the point uniform in the ball.
+  double radius = std::pow(NextDouble(), 1.0 / dim);
+  double scale = (norm > 0) ? radius / norm : 0.0;
+  for (int j = 0; j < dim; ++j) out[j] *= scale;
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  // Derive child state from (seed, stream) through splitmix64 so children
+  // with different stream ids are decorrelated from each other and from the
+  // parent's output sequence.
+  uint64_t sm = seed_ ^ (0xda3e39cb94b95bdbULL * (stream + 1));
+  uint64_t s0 = SplitMix64(sm);
+  uint64_t s1 = SplitMix64(sm);
+  uint64_t s2 = SplitMix64(sm);
+  uint64_t s3 = SplitMix64(sm);
+  return Rng(s0, s1, s2, s3);
+}
+
+}  // namespace dbs

@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dbs {
+
+void OnlineMoments::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineMoments::Merge(const OnlineMoments& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  int64_t n = count_ + other.count_;
+  double delta = other.mean_ - mean_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double OnlineMoments::variance() const {
+  if (count_ < 1) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineMoments::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineMoments::stddev() const { return std::sqrt(variance()); }
+
+double OnlineMoments::sample_stddev() const {
+  return std::sqrt(sample_variance());
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double SampleStddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  OnlineMoments m;
+  for (double v : values) m.Add(v);
+  return m.sample_stddev();
+}
+
+double Percentile(std::vector<double> values, double q) {
+  DBS_CHECK(!values.empty());
+  DBS_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected) {
+  DBS_CHECK(observed.size() == expected.size());
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0.0) continue;
+    double diff = observed[i] - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+double ChiSquareCritical999(int dof) {
+  DBS_CHECK(dof > 0);
+  // Wilson-Hilferty: chi2_q(k) ~ k * (1 - 2/(9k) + z_q * sqrt(2/(9k)))^3.
+  // z at 0.999 one-sided.
+  const double z = 3.090232306167814;
+  double k = static_cast<double>(dof);
+  double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+}  // namespace dbs

@@ -1,0 +1,63 @@
+// Streaming and batch descriptive statistics.
+//
+// OnlineMoments implements Welford's numerically-stable single-pass
+// mean/variance, used by the density module to derive bandwidths from the
+// same pass that samples kernel centers. The free functions operate on
+// vectors and are used mainly by tests and the evaluation harness.
+
+#ifndef DBS_UTIL_STATS_H_
+#define DBS_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbs {
+
+// Single-variable streaming moments (Welford).
+class OnlineMoments {
+ public:
+  void Add(double x);
+  // Merges another accumulator (parallel-friendly Chan et al. update).
+  void Merge(const OnlineMoments& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance (division by n). Zero when count < 1.
+  double variance() const;
+  // Sample variance (division by n-1). Zero when count < 2.
+  double sample_variance() const;
+  double stddev() const;
+  double sample_stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+// Sample standard deviation of `values`; 0 when fewer than two values.
+double SampleStddev(const std::vector<double>& values);
+
+// Linear-interpolation percentile, q in [0, 1]. Sorts a copy.
+double Percentile(std::vector<double> values, double q);
+
+// Pearson chi-square statistic for observed vs expected counts.
+// Buckets with expected <= 0 are skipped.
+double ChiSquareStatistic(const std::vector<double>& observed,
+                          const std::vector<double>& expected);
+
+// Upper critical value of the chi-square distribution with `dof` degrees of
+// freedom at significance 0.001, via the Wilson-Hilferty approximation.
+// Used by statistical tests to make randomized assertions robust.
+double ChiSquareCritical999(int dof);
+
+}  // namespace dbs
+
+#endif  // DBS_UTIL_STATS_H_

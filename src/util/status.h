@@ -1,0 +1,158 @@
+// Error propagation without exceptions.
+//
+// Fallible public APIs return Status (or Result<T> when they produce a
+// value). The design follows the Arrow/Abseil convention: a small set of
+// error codes plus a human-readable message, cheap to pass by value, and a
+// DBS_RETURN_IF_ERROR macro for propagation.
+
+#ifndef DBS_UTIL_STATUS_H_
+#define DBS_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace dbs {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kInternal,
+};
+
+// Returns a short stable name for a code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A Status is either OK or carries an error code and message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+// Result<T> holds either a value or an error Status. Accessing the value of
+// an errored Result is a checked fatal error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : storage_(std::move(value)) {}
+  Result(Status status) : storage_(std::move(status)) {
+    DBS_CHECK_MSG(!std::get<Status>(storage_).ok(),
+                  "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(storage_);
+  }
+
+  const T& value() const& {
+    DBS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    DBS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    DBS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+#define DBS_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::dbs::Status _dbs_status = (expr);      \
+    if (!_dbs_status.ok()) return _dbs_status; \
+  } while (false)
+
+// Assigns the value of a Result expression to `lhs`, returning the error
+// Status on failure. `lhs` may include a declaration, e.g.
+//   DBS_ASSIGN_OR_RETURN(auto sample, sampler.Run(scan));
+#define DBS_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  DBS_ASSIGN_OR_RETURN_IMPL(                                   \
+      DBS_STATUS_MACRO_CONCAT(_dbs_result, __LINE__), lhs, rexpr)
+
+#define DBS_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                              \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+
+#define DBS_STATUS_MACRO_CONCAT_INNER(x, y) x##y
+#define DBS_STATUS_MACRO_CONCAT(x, y) DBS_STATUS_MACRO_CONCAT_INNER(x, y)
+
+}  // namespace dbs
+
+#endif  // DBS_UTIL_STATUS_H_

@@ -1,0 +1,188 @@
+#include "classify/decision_tree.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/point_set.h"
+#include "util/rng.h"
+
+namespace dbs::classify {
+namespace {
+
+using data::PointSet;
+using data::PointView;
+
+TEST(DecisionTreeTest, RejectsBadArguments) {
+  PointSet ps(1, {0.0, 1.0});
+  std::vector<int32_t> labels{0, 1};
+  DecisionTreeOptions opts;
+  EXPECT_FALSE(DecisionTree::Train(PointSet(1), {}, {}, opts).ok());
+  EXPECT_FALSE(DecisionTree::Train(ps, {0}, {}, opts).ok());
+  EXPECT_FALSE(DecisionTree::Train(ps, {0, -1}, {}, opts).ok());
+  EXPECT_FALSE(DecisionTree::Train(ps, labels, {1.0}, opts).ok());
+  EXPECT_FALSE(DecisionTree::Train(ps, labels, {1.0, 0.0}, opts).ok());
+  DecisionTreeOptions bad_depth;
+  bad_depth.max_depth = 0;
+  EXPECT_FALSE(DecisionTree::Train(ps, labels, {}, bad_depth).ok());
+}
+
+TEST(DecisionTreeTest, SingleClassIsOneLeaf) {
+  PointSet ps(2, {0.1, 0.1, 0.5, 0.5, 0.9, 0.9});
+  std::vector<int32_t> labels{2, 2, 2};
+  auto tree = DecisionTree::Train(ps, labels, {}, DecisionTreeOptions{});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1);
+  EXPECT_EQ(tree->num_classes(), 3);
+  double q[2] = {0.7, 0.2};
+  EXPECT_EQ(tree->Predict(PointView(q, 2)), 2);
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedBoundary) {
+  // Class = x > 0.5; the tree finds the threshold exactly.
+  Rng rng(1);
+  PointSet ps(1);
+  std::vector<int32_t> labels;
+  for (int i = 0; i < 400; ++i) {
+    double x = rng.NextDouble();
+    ps.Append(&x);
+    labels.push_back(x > 0.5 ? 1 : 0);
+  }
+  auto tree = DecisionTree::Train(ps, labels, {}, DecisionTreeOptions{});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_DOUBLE_EQ(tree->Accuracy(ps, labels), 1.0);
+  // Shallow: one split suffices.
+  EXPECT_LE(tree->depth(), 2);
+}
+
+TEST(DecisionTreeTest, LearnsXorWithDepthTwo) {
+  // XOR of two thresholds needs depth >= 2 and is impossible at depth 1.
+  Rng rng(2);
+  PointSet ps(2);
+  std::vector<int32_t> labels;
+  for (int i = 0; i < 800; ++i) {
+    double x = rng.NextDouble();
+    double y = rng.NextDouble();
+    ps.Append(std::vector<double>{x, y});
+    labels.push_back((x > 0.5) != (y > 0.5) ? 1 : 0);
+  }
+  DecisionTreeOptions shallow;
+  shallow.max_depth = 1;
+  auto stump = DecisionTree::Train(ps, labels, {}, shallow);
+  ASSERT_TRUE(stump.ok());
+  EXPECT_LT(stump->Accuracy(ps, labels), 0.7);
+
+  DecisionTreeOptions deep;
+  deep.max_depth = 4;
+  auto tree = DecisionTree::Train(ps, labels, {}, deep);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(tree->Accuracy(ps, labels), 0.98);
+}
+
+TEST(DecisionTreeTest, GeneralizesToHeldOutData) {
+  Rng rng(3);
+  auto make = [&](int64_t n, PointSet& ps, std::vector<int32_t>& labels) {
+    for (int64_t i = 0; i < n; ++i) {
+      double x = rng.NextDouble();
+      double y = rng.NextDouble();
+      ps.Append(std::vector<double>{x, y});
+      labels.push_back(y > 0.3 + 0.4 * x ? 1 : 0);
+    }
+  };
+  PointSet train(2);
+  std::vector<int32_t> train_labels;
+  make(2000, train, train_labels);
+  PointSet test(2);
+  std::vector<int32_t> test_labels;
+  make(1000, test, test_labels);
+  auto tree = DecisionTree::Train(train, train_labels, {},
+                                  DecisionTreeOptions{});
+  ASSERT_TRUE(tree.ok());
+  // A diagonal boundary needs a staircase of axis splits; still > 95%.
+  EXPECT_GT(tree->Accuracy(test, test_labels), 0.95);
+}
+
+TEST(DecisionTreeTest, WeightsShiftTheMajority) {
+  // Two overlapping labels on the same region; weights decide the leaf.
+  PointSet ps(1, {0.4, 0.6});
+  std::vector<int32_t> labels{0, 1};
+  DecisionTreeOptions opts;
+  opts.max_depth = 1;
+  opts.min_leaf_weight = 100.0;  // force a single leaf
+  auto heavy_zero = DecisionTree::Train(ps, labels, {10.0, 1.0}, opts);
+  ASSERT_TRUE(heavy_zero.ok());
+  double q = 0.5;
+  EXPECT_EQ(heavy_zero->Predict(PointView(&q, 1)), 0);
+  auto heavy_one = DecisionTree::Train(ps, labels, {1.0, 10.0}, opts);
+  ASSERT_TRUE(heavy_one.ok());
+  EXPECT_EQ(heavy_one->Predict(PointView(&q, 1)), 1);
+}
+
+TEST(DecisionTreeTest, MinLeafWeightPrunesSplits) {
+  // 80 negatives on a left grid, 20 positives clustered far right. A leaf
+  // minimum of 30 forbids the clean 80/20 cut; the best LEGAL split is
+  // 70/30, whose right leaf mixes 10 negatives under the positive
+  // majority and cannot split further (30 < 2 * 30). The tree is then
+  // exactly one split with accuracy 90%.
+  PointSet ps(1);
+  std::vector<int32_t> labels;
+  for (int i = 0; i < 80; ++i) {
+    double x = 0.005 * i;  // [0, 0.4)
+    ps.Append(&x);
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 20; ++i) {
+    double x = 0.9 + 0.004 * i;
+    ps.Append(&x);
+    labels.push_back(1);
+  }
+  DecisionTreeOptions strict;
+  strict.min_leaf_weight = 30.0;
+  auto tree = DecisionTree::Train(ps, labels, {}, strict);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 3);
+  EXPECT_DOUBLE_EQ(tree->Accuracy(ps, labels), 0.9);
+  // The default minimum isolates the positives perfectly.
+  auto loose = DecisionTree::Train(ps, labels, {}, DecisionTreeOptions{});
+  ASSERT_TRUE(loose.ok());
+  double q = 0.95;
+  EXPECT_EQ(loose->Predict(PointView(&q, 1)), 1);
+  EXPECT_DOUBLE_EQ(loose->Accuracy(ps, labels), 1.0);
+}
+
+TEST(DecisionTreeTest, PerClassRecallSeparatesMajorityAndMinority) {
+  Rng rng(7);
+  PointSet ps(2);
+  std::vector<int32_t> labels;
+  // Majority class covers the domain; minority in a small corner.
+  for (int i = 0; i < 900; ++i) {
+    ps.Append(std::vector<double>{rng.NextDouble(), rng.NextDouble()});
+    labels.push_back(0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    ps.Append(std::vector<double>{rng.NextDouble(0.9, 1.0),
+                                  rng.NextDouble(0.9, 1.0)});
+    labels.push_back(1);
+  }
+  auto tree = DecisionTree::Train(ps, labels, {}, DecisionTreeOptions{});
+  ASSERT_TRUE(tree.ok());
+  std::vector<double> recall = tree->PerClassRecall(ps, labels, 2);
+  ASSERT_EQ(recall.size(), 2u);
+  EXPECT_GT(recall[0], 0.95);
+  EXPECT_GT(recall[1], 0.8);
+}
+
+TEST(DecisionTreeTest, DuplicateFeatureValuesNeverSplitBetweenThem) {
+  // All x identical: no valid split, single leaf with majority label.
+  PointSet ps(1, {0.5, 0.5, 0.5, 0.5});
+  std::vector<int32_t> labels{0, 1, 1, 1};
+  auto tree = DecisionTree::Train(ps, labels, {}, DecisionTreeOptions{});
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_nodes(), 1);
+  double q = 0.5;
+  EXPECT_EQ(tree->Predict(PointView(&q, 1)), 1);
+}
+
+}  // namespace
+}  // namespace dbs::classify

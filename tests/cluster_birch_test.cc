@@ -1,0 +1,231 @@
+#include "cluster/birch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cf_tree.h"
+#include "data/point_set.h"
+#include "util/rng.h"
+
+namespace dbs::cluster {
+namespace {
+
+using data::PointSet;
+using data::PointView;
+
+PointSet Blobs(const std::vector<std::pair<double, double>>& centers,
+               int64_t per_blob, double sigma, uint64_t seed) {
+  dbs::Rng rng(seed);
+  PointSet ps(2);
+  for (auto [cx, cy] : centers) {
+    for (int64_t i = 0; i < per_blob; ++i) {
+      ps.Append(std::vector<double>{rng.NextGaussian(cx, sigma),
+                                    rng.NextGaussian(cy, sigma)});
+    }
+  }
+  return ps;
+}
+
+TEST(ClusteringFeatureTest, Additivity) {
+  PointSet ps(2, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  ClusteringFeature all(2);
+  ClusteringFeature a(2);
+  ClusteringFeature b(2);
+  for (int64_t i = 0; i < 3; ++i) all.AddPoint(ps[i]);
+  a.AddPoint(ps[0]);
+  b.AddPoint(ps[1]);
+  b.AddPoint(ps[2]);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.n, all.n);
+  EXPECT_DOUBLE_EQ(a.ls[0], all.ls[0]);
+  EXPECT_DOUBLE_EQ(a.ls[1], all.ls[1]);
+  EXPECT_DOUBLE_EQ(a.ss, all.ss);
+}
+
+TEST(ClusteringFeatureTest, CentroidAndRadius) {
+  PointSet ps(1, {0.0, 2.0});
+  ClusteringFeature cf(1);
+  cf.AddPoint(ps[0]);
+  cf.AddPoint(ps[1]);
+  EXPECT_DOUBLE_EQ(cf.centroid(0), 1.0);
+  // Points at distance 1 from the centroid: radius 1.
+  EXPECT_NEAR(cf.Radius(), 1.0, 1e-12);
+}
+
+TEST(ClusteringFeatureTest, SinglePointHasZeroRadius) {
+  PointSet ps(3, {0.3, 0.4, 0.5});
+  ClusteringFeature cf(3);
+  cf.AddPoint(ps[0]);
+  EXPECT_NEAR(cf.Radius(), 0.0, 1e-12);
+}
+
+TEST(ClusteringFeatureTest, CentroidDistance) {
+  PointSet ps(2, {0.0, 0.0, 3.0, 4.0});
+  ClusteringFeature a(2);
+  ClusteringFeature b(2);
+  a.AddPoint(ps[0]);
+  b.AddPoint(ps[1]);
+  EXPECT_DOUBLE_EQ(ClusteringFeature::CentroidDistance2(a, b), 25.0);
+}
+
+TEST(ClusteringFeatureTest, MergedRadiusGrowsWithSeparation) {
+  PointSet near(1, {0.0, 0.1});
+  PointSet far(1, {0.0, 5.0});
+  ClusteringFeature a(1);
+  a.AddPoint(near[0]);
+  ClusteringFeature b(1);
+  b.AddPoint(near[1]);
+  ClusteringFeature c(1);
+  c.AddPoint(far[1]);
+  EXPECT_LT(a.MergedRadius(b), a.MergedRadius(c));
+}
+
+TEST(CfTreeTest, RejectsBadOptions) {
+  CfTreeOptions bad;
+  bad.page_size_bytes = 8;
+  EXPECT_FALSE(CfTree::Create(2, bad).ok());
+  CfTreeOptions tiny;
+  tiny.memory_budget_bytes = 10;
+  EXPECT_FALSE(CfTree::Create(2, tiny).ok());
+  EXPECT_FALSE(CfTree::Create(0, CfTreeOptions{}).ok());
+}
+
+TEST(CfTreeTest, CountsInsertedPoints) {
+  auto tree = CfTree::Create(2, CfTreeOptions{});
+  ASSERT_TRUE(tree.ok());
+  PointSet ps = Blobs({{0.5, 0.5}}, 500, 0.1, 1);
+  for (int64_t i = 0; i < ps.size(); ++i) tree->Insert(ps[i]);
+  EXPECT_EQ(tree->num_points(), 500);
+  // Leaf CFs partition the data: their counts sum to n.
+  double total = 0;
+  for (const ClusteringFeature& cf : tree->LeafEntries()) total += cf.n;
+  EXPECT_DOUBLE_EQ(total, 500.0);
+}
+
+TEST(CfTreeTest, ZeroThresholdKeepsDistinctPointsApart) {
+  CfTreeOptions opts;
+  opts.memory_budget_bytes = 1 << 20;
+  auto tree = CfTree::Create(1, opts);
+  ASSERT_TRUE(tree.ok());
+  PointSet ps(1, {0.1, 0.2, 0.3, 0.2});  // one duplicate value
+  for (int64_t i = 0; i < ps.size(); ++i) tree->Insert(ps[i]);
+  // With T = 0, merging happens only at zero merged radius (duplicates).
+  EXPECT_EQ(tree->num_leaf_entries(), 3);
+}
+
+TEST(CfTreeTest, MemoryBudgetForcesRebuilds) {
+  CfTreeOptions opts;
+  opts.page_size_bytes = 1024;
+  opts.memory_budget_bytes = 8 * 1024;  // 8 pages only
+  auto tree = CfTree::Create(2, opts);
+  ASSERT_TRUE(tree.ok());
+  PointSet ps = Blobs({{0.2, 0.2}, {0.8, 0.8}}, 5000, 0.1, 2);
+  for (int64_t i = 0; i < ps.size(); ++i) tree->Insert(ps[i]);
+  EXPECT_GT(tree->rebuilds(), 0);
+  EXPECT_GT(tree->threshold(), 0.0);
+  EXPECT_LE(tree->memory_bytes(), opts.memory_budget_bytes);
+  EXPECT_EQ(tree->num_points(), 10000);
+  double total = 0;
+  for (const ClusteringFeature& cf : tree->LeafEntries()) total += cf.n;
+  EXPECT_DOUBLE_EQ(total, 10000.0);
+}
+
+TEST(CfTreeTest, CapacitiesDerivedFromPageSize) {
+  CfTreeOptions opts;
+  opts.page_size_bytes = 1024;
+  auto tree = CfTree::Create(2, opts);
+  ASSERT_TRUE(tree.ok());
+  // Leaf entry = (2 + dim) * 8 = 32 bytes -> 32 entries per 1K page.
+  EXPECT_EQ(tree->leaf_capacity(), 32);
+  EXPECT_GE(tree->internal_capacity(), 4);
+  EXPECT_LE(tree->internal_capacity(), tree->leaf_capacity());
+}
+
+TEST(BirchTest, RejectsBadArguments) {
+  BirchOptions bad;
+  bad.num_clusters = 0;
+  PointSet ps = Blobs({{0.5, 0.5}}, 10, 0.01, 3);
+  EXPECT_FALSE(RunBirch(ps, bad).ok());
+  BirchOptions opts;
+  EXPECT_FALSE(RunBirch(PointSet(2), opts).ok());
+}
+
+TEST(BirchTest, RecoversSeparatedBlobs) {
+  PointSet ps = Blobs({{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}}, 2000, 0.04, 4);
+  BirchOptions opts;
+  opts.num_clusters = 3;
+  opts.tree.memory_budget_bytes = 64 * 1024;
+  auto result = RunBirch(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 3u);
+  // One reported center near each true center; weights near 2000.
+  for (auto [ex, ey] : {std::pair{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}}) {
+    double best = 1e9;
+    double weight = 0;
+    for (const BirchCluster& c : result->clusters) {
+      double dx = c.center[0] - ex;
+      double dy = c.center[1] - ey;
+      double d = std::sqrt(dx * dx + dy * dy);
+      if (d < best) {
+        best = d;
+        weight = c.weight;
+      }
+    }
+    EXPECT_LT(best, 0.05);
+    EXPECT_NEAR(weight, 2000.0, 300.0);
+  }
+}
+
+TEST(BirchTest, RadiiReflectBlobSpread) {
+  PointSet ps = Blobs({{0.25, 0.5}, {0.75, 0.5}}, 3000, 0.05, 5);
+  BirchOptions opts;
+  opts.num_clusters = 2;
+  opts.tree.memory_budget_bytes = 64 * 1024;
+  auto result = RunBirch(ps, opts);
+  ASSERT_TRUE(result.ok());
+  for (const BirchCluster& c : result->clusters) {
+    // RMS radius of an isotropic 2-D Gaussian is sigma*sqrt(2) ~ 0.071.
+    EXPECT_NEAR(c.radius, 0.05 * std::sqrt(2.0), 0.025);
+  }
+}
+
+TEST(BirchTest, SinglePassOverTheScan) {
+  PointSet ps = Blobs({{0.5, 0.5}}, 1000, 0.1, 6);
+  data::InMemoryScan scan(&ps);
+  BirchOptions opts;
+  opts.num_clusters = 1;
+  auto result = RunBirch(scan, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(scan.passes(), 1);
+}
+
+TEST(BirchTest, TightMemoryStillClustersCoarsely) {
+  // Equal-size, well-separated blobs survive even a starved tree.
+  PointSet ps = Blobs({{0.1, 0.1}, {0.9, 0.9}}, 5000, 0.05, 7);
+  BirchOptions opts;
+  opts.num_clusters = 2;
+  opts.tree.memory_budget_bytes = 4 * 1024;
+  auto result = RunBirch(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clusters.size(), 2u);
+  std::vector<double> xs{result->clusters[0].center[0],
+                         result->clusters[1].center[0]};
+  std::sort(xs.begin(), xs.end());
+  EXPECT_NEAR(xs[0], 0.1, 0.1);
+  EXPECT_NEAR(xs[1], 0.9, 0.1);
+}
+
+TEST(BirchTest, FewerLeafEntriesThanClustersWanted) {
+  PointSet ps = Blobs({{0.5, 0.5}}, 20, 0.001, 8);
+  BirchOptions opts;
+  opts.num_clusters = 50;  // more than distinct leaf entries
+  auto result = RunBirch(ps, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(static_cast<int64_t>(result->clusters.size()), 20);
+}
+
+}  // namespace
+}  // namespace dbs::cluster

@@ -1,0 +1,212 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/distance.h"
+#include "data/point_set.h"
+#include "util/rng.h"
+
+namespace dbs::cluster {
+namespace {
+
+using data::PointSet;
+using data::PointView;
+
+PointSet Blobs(const std::vector<std::pair<double, double>>& centers,
+               int64_t per_blob, double sigma, uint64_t seed) {
+  Rng rng(seed);
+  PointSet ps(2);
+  for (auto [cx, cy] : centers) {
+    for (int64_t i = 0; i < per_blob; ++i) {
+      ps.Append(std::vector<double>{rng.NextGaussian(cx, sigma),
+                                    rng.NextGaussian(cy, sigma)});
+    }
+  }
+  return ps;
+}
+
+TEST(DbscanTest, RejectsBadArguments) {
+  PointSet ps(2, {0.0, 0.0});
+  DbscanOptions bad;
+  bad.epsilon = 0;
+  EXPECT_FALSE(DbscanCluster(ps, bad).ok());
+  DbscanOptions bad_min;
+  bad_min.min_points = 0;
+  EXPECT_FALSE(DbscanCluster(ps, bad_min).ok());
+  EXPECT_FALSE(DbscanCluster(PointSet(2), DbscanOptions{}).ok());
+  EXPECT_FALSE(DbscanCluster(ps, DbscanOptions{}, 0).ok());
+}
+
+TEST(DbscanTest, SeparatedBlobsWithScatteredNoise) {
+  PointSet ps = Blobs({{0.2, 0.2}, {0.8, 0.8}}, 250, 0.03, 1);
+  Rng rng(2);
+  const int64_t blob_points = ps.size();
+  for (int i = 0; i < 40; ++i) {
+    ps.Append(std::vector<double>{rng.NextDouble(), rng.NextDouble()});
+  }
+  DbscanOptions opts;
+  opts.epsilon = 0.04;
+  opts.min_points = 5;
+  auto result = DbscanCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_clusters(), 2);
+  // Blob points labeled, most noise unlabeled.
+  int64_t labeled_noise = 0;
+  for (int64_t i = blob_points; i < ps.size(); ++i) {
+    if (result->labels[i] >= 0) ++labeled_noise;
+  }
+  EXPECT_LT(labeled_noise, 10);
+  // Each cluster holds essentially one blob.
+  for (const Cluster& c : result->clusters) {
+    EXPECT_GE(c.members.size(), 240u);
+    EXPECT_LE(c.members.size(), 265u);
+  }
+}
+
+TEST(DbscanTest, FindsNonConvexShapes) {
+  // Two interleaved half-moons: k-means cannot separate them; DBSCAN can.
+  // The standard two-moons construction (scaled into the unit square):
+  // an upper semicircle and a lower semicircle shifted right and up so the
+  // arcs interleave without touching.
+  Rng rng(3);
+  PointSet ps(2);
+  for (int i = 0; i < 400; ++i) {
+    double t = M_PI * rng.NextDouble();
+    ps.Append(std::vector<double>{0.30 + 0.25 * std::cos(t) +
+                                      rng.NextGaussian(0, 0.008),
+                                  0.45 + 0.25 * std::sin(t) +
+                                      rng.NextGaussian(0, 0.008)});
+  }
+  for (int i = 0; i < 400; ++i) {
+    double t = M_PI * rng.NextDouble();
+    ps.Append(std::vector<double>{0.55 - 0.25 * std::cos(t) +
+                                      rng.NextGaussian(0, 0.008),
+                                  0.575 - 0.25 * std::sin(t) +
+                                      rng.NextGaussian(0, 0.008)});
+  }
+  DbscanOptions opts;
+  opts.epsilon = 0.04;
+  opts.min_points = 5;
+  auto result = DbscanCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_clusters(), 2);
+  // Moon membership by construction order.
+  int32_t first = result->labels[0];
+  int64_t misassigned = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (result->labels[i] != first) ++misassigned;
+  }
+  for (int i = 400; i < 800; ++i) {
+    if (result->labels[i] == first) ++misassigned;
+  }
+  EXPECT_LT(misassigned, 20);
+}
+
+TEST(DbscanTest, EverythingIsolatedMeansAllNoise) {
+  // Far-apart points, min_points 3: no cores, no clusters.
+  PointSet ps(2);
+  for (int i = 0; i < 20; ++i) {
+    ps.Append(std::vector<double>{static_cast<double>(i), 0.0});
+  }
+  DbscanOptions opts;
+  opts.epsilon = 0.2;
+  opts.min_points = 3;
+  auto result = DbscanCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters(), 0);
+  for (int32_t label : result->labels) EXPECT_EQ(label, -1);
+}
+
+TEST(DbscanTest, EpsilonBridgesOrSeparates) {
+  // Two 30-point groups 0.2 apart: small epsilon -> 2 clusters, large
+  // epsilon -> 1 cluster.
+  PointSet ps = Blobs({{0.3, 0.5}, {0.5, 0.5}}, 30, 0.01, 4);
+  DbscanOptions split;
+  split.epsilon = 0.05;
+  split.min_points = 4;
+  auto a = DbscanCluster(ps, split);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->num_clusters(), 2);
+
+  DbscanOptions merged;
+  merged.epsilon = 0.25;
+  merged.min_points = 4;
+  auto b = DbscanCluster(ps, merged);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_clusters(), 1);
+}
+
+TEST(DbscanTest, MembersAndLabelsConsistent) {
+  PointSet ps = Blobs({{0.25, 0.5}, {0.75, 0.5}}, 120, 0.04, 5);
+  DbscanOptions opts;
+  opts.epsilon = 0.05;
+  opts.min_points = 4;
+  auto result = DbscanCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  std::set<int64_t> seen;
+  for (size_t c = 0; c < result->clusters.size(); ++c) {
+    for (int64_t m : result->clusters[c].members) {
+      EXPECT_EQ(result->labels[m], static_cast<int32_t>(c));
+      EXPECT_TRUE(seen.insert(m).second) << "member assigned twice";
+    }
+  }
+  for (int64_t i = 0; i < ps.size(); ++i) {
+    if (result->labels[i] >= 0) {
+      EXPECT_TRUE(seen.count(i));
+    }
+  }
+}
+
+TEST(DbscanTest, RepresentativesAreCoreAndCapped) {
+  PointSet ps = Blobs({{0.5, 0.5}}, 500, 0.05, 6);
+  DbscanOptions opts;
+  opts.epsilon = 0.04;
+  opts.min_points = 5;
+  auto result = DbscanCluster(ps, opts, /*max_representatives=*/7);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_clusters(), 1);
+  const Cluster& c = result->clusters[0];
+  EXPECT_LE(c.representatives.size(), 7);
+  EXPECT_GE(c.representatives.size(), 1);
+  // Each representative equals some member point.
+  for (int64_t r = 0; r < c.representatives.size(); ++r) {
+    bool found = false;
+    for (int64_t m : c.members) {
+      if (data::SquaredL2(c.representatives[r], ps[m]) == 0.0) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(DbscanTest, BorderPointsDoNotExpandClusters) {
+  // A chain: dense group, then a string of single points. Border points
+  // attach but do not propagate, so the string stays mostly noise.
+  Rng rng(7);
+  PointSet ps(2);
+  for (int i = 0; i < 60; ++i) {
+    ps.Append(std::vector<double>{rng.NextGaussian(0.2, 0.01),
+                                  rng.NextGaussian(0.5, 0.01)});
+  }
+  for (int i = 0; i < 10; ++i) {
+    ps.Append(std::vector<double>{0.26 + 0.045 * i, 0.5});
+  }
+  DbscanOptions opts;
+  opts.epsilon = 0.05;
+  opts.min_points = 5;
+  auto result = DbscanCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->num_clusters(), 1);
+  // The far end of the string must remain noise.
+  EXPECT_EQ(result->labels[69], -1);
+}
+
+}  // namespace
+}  // namespace dbs::cluster

@@ -1,0 +1,334 @@
+#include "cluster/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/distance.h"
+#include "data/point_set.h"
+#include "util/rng.h"
+
+namespace dbs::cluster {
+namespace {
+
+using data::PointSet;
+using data::PointView;
+
+// Options with CURE's outlier elimination off: these tests exercise the
+// pure agglomeration on noise-free data, where every point must end up in
+// a cluster. Elimination behavior has its own tests below.
+HierarchicalOptions NoElimination() {
+  HierarchicalOptions opts;
+  opts.eliminate_outliers = false;
+  return opts;
+}
+
+// `k` Gaussian blobs on a circle of radius 0.4 around (0.5, 0.5).
+PointSet BlobsOnCircle(int k, int64_t per_blob, double sigma, uint64_t seed) {
+  dbs::Rng rng(seed);
+  PointSet ps(2);
+  for (int c = 0; c < k; ++c) {
+    double angle = 2.0 * M_PI * c / k;
+    double cx = 0.5 + 0.4 * std::cos(angle);
+    double cy = 0.5 + 0.4 * std::sin(angle);
+    for (int64_t i = 0; i < per_blob; ++i) {
+      ps.Append(std::vector<double>{rng.NextGaussian(cx, sigma),
+                                    rng.NextGaussian(cy, sigma)});
+    }
+  }
+  return ps;
+}
+
+TEST(HierarchicalTest, RejectsBadOptions) {
+  PointSet ps(2, {0.0, 0.0, 1.0, 1.0});
+  HierarchicalOptions bad;
+  bad.num_clusters = 0;
+  EXPECT_FALSE(HierarchicalCluster(ps, bad).ok());
+  HierarchicalOptions bad_reps;
+  bad_reps.num_representatives = 0;
+  EXPECT_FALSE(HierarchicalCluster(ps, bad_reps).ok());
+  HierarchicalOptions bad_shrink;
+  bad_shrink.shrink_factor = 1.5;
+  EXPECT_FALSE(HierarchicalCluster(ps, bad_shrink).ok());
+  PointSet empty(2);
+  EXPECT_FALSE(HierarchicalCluster(empty, HierarchicalOptions{}).ok());
+}
+
+TEST(HierarchicalTest, FewerPointsThanClusters) {
+  PointSet ps(2, {0.0, 0.0, 1.0, 1.0, 2.0, 2.0});
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 10;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters(), 3);
+}
+
+TEST(HierarchicalTest, RecoversWellSeparatedBlobs) {
+  for (int k : {2, 3, 5, 8}) {
+    PointSet ps = BlobsOnCircle(k, 100, 0.015, 100 + k);
+    HierarchicalOptions opts = NoElimination();
+    opts.num_clusters = k;
+    auto result = HierarchicalCluster(ps, opts);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->num_clusters(), k);
+    // Every cluster must contain exactly the 100 points of one blob.
+    std::multiset<size_t> sizes;
+    for (const Cluster& c : result->clusters) sizes.insert(c.members.size());
+    for (size_t s : sizes) EXPECT_EQ(s, 100u) << "k=" << k;
+    // Points of the same blob share a label.
+    for (int c = 0; c < k; ++c) {
+      int32_t label = result->labels[c * 100];
+      for (int64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(result->labels[c * 100 + i], label);
+      }
+    }
+  }
+}
+
+TEST(HierarchicalTest, LabelsAreConsistentWithMembers) {
+  PointSet ps = BlobsOnCircle(4, 60, 0.02, 7);
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 4;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  int64_t total = 0;
+  for (size_t c = 0; c < result->clusters.size(); ++c) {
+    for (int64_t m : result->clusters[c].members) {
+      EXPECT_EQ(result->labels[m], static_cast<int32_t>(c));
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, ps.size());
+}
+
+TEST(HierarchicalTest, RepresentativeCountIsCapped) {
+  PointSet ps = BlobsOnCircle(3, 200, 0.02, 8);
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 3;
+  opts.num_representatives = 10;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  for (const Cluster& c : result->clusters) {
+    EXPECT_LE(c.representatives.size(), 10);
+    EXPECT_GE(c.representatives.size(), 1);
+  }
+}
+
+TEST(HierarchicalTest, RepresentativesLieNearTheirCluster) {
+  PointSet ps = BlobsOnCircle(3, 150, 0.02, 9);
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 3;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  for (const Cluster& c : result->clusters) {
+    PointView centroid(c.centroid.data(), 2);
+    for (int64_t r = 0; r < c.representatives.size(); ++r) {
+      // Blob sigma is 0.02; shrunk representatives stay within a few sigma.
+      EXPECT_LT(data::Distance(c.representatives[r], centroid), 0.15);
+    }
+  }
+}
+
+TEST(HierarchicalTest, ShrinkFactorOneCollapsesRepsToCentroid) {
+  PointSet ps = BlobsOnCircle(2, 80, 0.02, 10);
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 2;
+  opts.shrink_factor = 1.0;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  for (const Cluster& c : result->clusters) {
+    PointView centroid(c.centroid.data(), 2);
+    for (int64_t r = 0; r < c.representatives.size(); ++r) {
+      EXPECT_NEAR(data::Distance(c.representatives[r], centroid), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(HierarchicalTest, ZeroShrinkKeepsScatteredPointsInData) {
+  PointSet ps = BlobsOnCircle(2, 80, 0.02, 11);
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 2;
+  opts.shrink_factor = 0.0;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  // With no shrinking, every representative is an actual data point.
+  for (const Cluster& c : result->clusters) {
+    for (int64_t r = 0; r < c.representatives.size(); ++r) {
+      bool found = false;
+      for (int64_t i = 0; i < ps.size() && !found; ++i) {
+        if (data::SquaredL2(c.representatives[r], ps[i]) == 0.0) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(HierarchicalTest, DiscoversNonSphericalClusters) {
+  // Two parallel elongated strips: K-means would cut them crosswise, the
+  // representative-based hierarchical algorithm must keep each strip whole.
+  dbs::Rng rng(12);
+  PointSet ps(2);
+  for (int i = 0; i < 300; ++i) {
+    ps.Append(std::vector<double>{rng.NextDouble(0.0, 1.0),
+                                  rng.NextGaussian(0.2, 0.01)});
+  }
+  for (int i = 0; i < 300; ++i) {
+    ps.Append(std::vector<double>{rng.NextDouble(0.0, 1.0),
+                                  rng.NextGaussian(0.8, 0.01)});
+  }
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 2;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_clusters(), 2);
+  EXPECT_EQ(result->clusters[0].members.size(), 300u);
+  EXPECT_EQ(result->clusters[1].members.size(), 300u);
+  // Strips separated by label.
+  int32_t first = result->labels[0];
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(result->labels[i], first);
+  for (int i = 300; i < 600; ++i) EXPECT_NE(result->labels[i], first);
+}
+
+TEST(HierarchicalTest, SinglePoint) {
+  PointSet ps(2, {0.5, 0.5});
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 1;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters(), 1);
+  EXPECT_EQ(result->clusters[0].members.size(), 1u);
+}
+
+TEST(HierarchicalTest, DuplicatePoints) {
+  PointSet ps(2);
+  for (int i = 0; i < 20; ++i) ps.Append(std::vector<double>{0.1, 0.1});
+  for (int i = 0; i < 20; ++i) ps.Append(std::vector<double>{0.9, 0.9});
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 2;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_clusters(), 2);
+  EXPECT_EQ(result->clusters[0].members.size(), 20u);
+  EXPECT_EQ(result->clusters[1].members.size(), 20u);
+}
+
+TEST(HierarchicalTest, DeterministicOutput) {
+  PointSet ps = BlobsOnCircle(4, 50, 0.03, 13);
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 4;
+  auto a = HierarchicalCluster(ps, opts);
+  auto b = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(HierarchicalEliminationTest, NoisePointsGetDropped) {
+  // Three tight blobs plus scattered noise; with elimination on, the noise
+  // is labeled -1 and the blobs come out clean.
+  dbs::Rng rng(20);
+  PointSet ps = BlobsOnCircle(3, 150, 0.015, 21);
+  const int64_t blob_points = ps.size();
+  for (int i = 0; i < 60; ++i) {
+    ps.Append(std::vector<double>{rng.NextDouble(), rng.NextDouble()});
+  }
+  HierarchicalOptions opts;  // elimination on by default
+  opts.num_clusters = 3;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_clusters(), 3);
+  // Blob points keep their labels; a healthy share of noise is dropped.
+  int64_t unlabeled_noise = 0;
+  for (int64_t i = blob_points; i < ps.size(); ++i) {
+    if (result->labels[i] < 0) ++unlabeled_noise;
+  }
+  EXPECT_GT(unlabeled_noise, 30);
+  // Each blob survives as one cluster; the early (1/3) trigger sheds blob-
+  // fringe singletons, so sizes land below 150 but stay substantial.
+  for (const Cluster& c : result->clusters) {
+    EXPECT_GE(c.members.size(), 100u);
+    EXPECT_LE(c.members.size(), 175u);
+  }
+}
+
+TEST(HierarchicalEliminationTest, NoiseChainingIsPrevented) {
+  // Two blobs connected by a sparse bridge of noise points. Without
+  // elimination, min-distance merging chains them through the bridge;
+  // with elimination the blobs stay separate.
+  dbs::Rng rng(22);
+  PointSet ps(2);
+  for (int i = 0; i < 200; ++i) {
+    ps.Append(std::vector<double>{rng.NextGaussian(0.15, 0.02),
+                                  rng.NextGaussian(0.5, 0.02)});
+  }
+  for (int i = 0; i < 200; ++i) {
+    ps.Append(std::vector<double>{rng.NextGaussian(0.85, 0.02),
+                                  rng.NextGaussian(0.5, 0.02)});
+  }
+  for (int i = 0; i < 12; ++i) {  // the bridge
+    ps.Append(std::vector<double>{0.25 + 0.05 * i,
+                                  rng.NextGaussian(0.5, 0.005)});
+  }
+  HierarchicalOptions opts;
+  opts.num_clusters = 2;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_clusters(), 2);
+  // Blobs end up in different clusters, and each keeps the bulk of its
+  // points (fringe singletons may be eliminated along with the bridge).
+  EXPECT_NE(result->labels[0], result->labels[200]);
+  for (const Cluster& c : result->clusters) {
+    EXPECT_GE(c.members.size(), 120u);
+  }
+}
+
+TEST(HierarchicalEliminationTest, CleanDataKeepsClusterStructure) {
+  // With no noise, the early trigger sheds some blob-fringe singletons but
+  // every blob still comes out as one cluster holding most of its points.
+  PointSet ps = BlobsOnCircle(4, 80, 0.015, 23);
+  HierarchicalOptions with;
+  with.num_clusters = 4;
+  auto a = HierarchicalCluster(ps, with);
+  ASSERT_TRUE(a.ok());
+  ASSERT_EQ(a->num_clusters(), 4);
+  int64_t dropped = 0;
+  for (int32_t label : a->labels) {
+    if (label < 0) ++dropped;
+  }
+  EXPECT_LE(dropped, ps.size() / 3);
+  for (const Cluster& c : a->clusters) {
+    EXPECT_GE(c.members.size(), 50u);
+    // Kept points of one blob share one label.
+  }
+  for (int blob = 0; blob < 4; ++blob) {
+    int32_t label = -1;
+    for (int i = 0; i < 80; ++i) {
+      int32_t l = a->labels[blob * 80 + i];
+      if (l < 0) continue;
+      if (label < 0) label = l;
+      EXPECT_EQ(l, label);
+    }
+  }
+}
+
+TEST(HierarchicalTest, NearestClusterByCentroidHelper) {
+  PointSet ps = BlobsOnCircle(3, 50, 0.02, 14);
+  HierarchicalOptions opts = NoElimination();
+  opts.num_clusters = 3;
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  // Each point's nearest centroid matches its label for tight blobs.
+  int agree = 0;
+  for (int64_t i = 0; i < ps.size(); ++i) {
+    if (NearestClusterByCentroid(*result, ps[i]) == result->labels[i]) {
+      ++agree;
+    }
+  }
+  EXPECT_GT(agree, ps.size() * 95 / 100);
+}
+
+}  // namespace
+}  // namespace dbs::cluster

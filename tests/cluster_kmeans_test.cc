@@ -1,0 +1,171 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/distance.h"
+#include "data/point_set.h"
+#include "util/rng.h"
+
+namespace dbs::cluster {
+namespace {
+
+using data::PointSet;
+using data::PointView;
+
+PointSet Blobs(const std::vector<std::pair<double, double>>& centers,
+               int64_t per_blob, double sigma, uint64_t seed) {
+  dbs::Rng rng(seed);
+  PointSet ps(2);
+  for (auto [cx, cy] : centers) {
+    for (int64_t i = 0; i < per_blob; ++i) {
+      ps.Append(std::vector<double>{rng.NextGaussian(cx, sigma),
+                                    rng.NextGaussian(cy, sigma)});
+    }
+  }
+  return ps;
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  PointSet ps(2, {0.0, 0.0, 1.0, 1.0});
+  KMeansOptions bad;
+  bad.num_clusters = 0;
+  EXPECT_FALSE(KMeansCluster(ps, {}, bad).ok());
+
+  KMeansOptions opts;
+  EXPECT_FALSE(KMeansCluster(PointSet(2), {}, opts).ok());
+  EXPECT_FALSE(KMeansCluster(ps, {1.0}, opts).ok());          // size mismatch
+  EXPECT_FALSE(KMeansCluster(ps, {1.0, -1.0}, opts).ok());    // negative
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  PointSet ps = Blobs({{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}}, 200, 0.03, 1);
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  auto result = KMeansCluster(ps, {}, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->clustering.num_clusters(), 3);
+  for (const Cluster& c : result->clustering.clusters) {
+    EXPECT_EQ(c.members.size(), 200u);
+  }
+  // Centers land on the blob centers.
+  std::vector<std::pair<double, double>> expected{{0.2, 0.2},
+                                                  {0.8, 0.2},
+                                                  {0.5, 0.8}};
+  for (auto [ex, ey] : expected) {
+    double best = 1e9;
+    for (const Cluster& c : result->clustering.clusters) {
+      double dx = c.centroid[0] - ex;
+      double dy = c.centroid[1] - ey;
+      best = std::min(best, std::sqrt(dx * dx + dy * dy));
+    }
+    EXPECT_LT(best, 0.02);
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  PointSet ps = Blobs({{0.2, 0.2}, {0.8, 0.8}}, 300, 0.1, 2);
+  double prev = 1e18;
+  for (int k : {1, 2, 4, 8}) {
+    KMeansOptions opts;
+    opts.num_clusters = k;
+    opts.seed = 5;
+    auto result = KMeansCluster(ps, {}, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev * 1.001);
+    prev = result->inertia;
+  }
+}
+
+TEST(KMeansTest, KLargerThanNClampsToN) {
+  PointSet ps(2, {0.0, 0.0, 1.0, 1.0, 2.0, 2.0});
+  KMeansOptions opts;
+  opts.num_clusters = 10;
+  auto result = KMeansCluster(ps, {}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_clusters(), 3);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, WeightsShiftCenters) {
+  // Two points; weight one of them 9x: the 1-cluster center must sit at
+  // the weighted mean.
+  PointSet ps(1, {0.0, 1.0});
+  KMeansOptions opts;
+  opts.num_clusters = 1;
+  auto result = KMeansCluster(ps, {9.0, 1.0}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->clustering.clusters[0].centroid[0], 0.1, 1e-9);
+  EXPECT_NEAR(result->clustering.clusters[0].weight, 10.0, 1e-9);
+}
+
+TEST(KMeansTest, WeightedEqualsDuplicated) {
+  // k-means on weighted points must produce the same centers as k-means on
+  // a dataset with points physically duplicated by their weights.
+  dbs::Rng rng(3);
+  PointSet weighted(1);
+  std::vector<double> weights;
+  PointSet duplicated(1);
+  for (int i = 0; i < 60; ++i) {
+    double v = rng.NextDouble(0, 1) + (i % 2 == 0 ? 0.0 : 5.0);
+    int w = 1 + static_cast<int>(rng.NextBounded(4));
+    weighted.Append(&v);
+    weights.push_back(static_cast<double>(w));
+    for (int r = 0; r < w; ++r) duplicated.Append(&v);
+  }
+  KMeansOptions opts;
+  opts.num_clusters = 2;
+  opts.seed = 9;
+  auto a = KMeansCluster(weighted, weights, opts);
+  auto b = KMeansCluster(duplicated, {}, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The two well-separated groups give identical converged centers.
+  std::vector<double> ca{a->clustering.clusters[0].centroid[0],
+                         a->clustering.clusters[1].centroid[0]};
+  std::vector<double> cb{b->clustering.clusters[0].centroid[0],
+                         b->clustering.clusters[1].centroid[0]};
+  std::sort(ca.begin(), ca.end());
+  std::sort(cb.begin(), cb.end());
+  EXPECT_NEAR(ca[0], cb[0], 1e-6);
+  EXPECT_NEAR(ca[1], cb[1], 1e-6);
+}
+
+TEST(KMeansTest, DeterministicPerSeed) {
+  PointSet ps = Blobs({{0.3, 0.3}, {0.7, 0.7}}, 100, 0.05, 4);
+  KMeansOptions opts;
+  opts.num_clusters = 2;
+  opts.seed = 42;
+  auto a = KMeansCluster(ps, {}, opts);
+  auto b = KMeansCluster(ps, {}, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->clustering.labels, b->clustering.labels);
+  EXPECT_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, AllPointsIdentical) {
+  PointSet ps(2);
+  for (int i = 0; i < 50; ++i) ps.Append(std::vector<double>{0.5, 0.5});
+  KMeansOptions opts;
+  opts.num_clusters = 3;
+  auto result = KMeansCluster(ps, {}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, ConvergesWithinIterationCap) {
+  PointSet ps = Blobs({{0.2, 0.5}, {0.8, 0.5}}, 500, 0.08, 5);
+  KMeansOptions opts;
+  opts.num_clusters = 2;
+  opts.max_iterations = 100;
+  auto result = KMeansCluster(ps, {}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->iterations, 100);
+}
+
+}  // namespace
+}  // namespace dbs::cluster

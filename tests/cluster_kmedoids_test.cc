@@ -1,0 +1,179 @@
+#include "cluster/kmedoids.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/point_set.h"
+#include "util/rng.h"
+
+namespace dbs::cluster {
+namespace {
+
+using data::Metric;
+using data::PointSet;
+
+PointSet Blobs(const std::vector<std::pair<double, double>>& centers,
+               int64_t per_blob, double sigma, uint64_t seed) {
+  Rng rng(seed);
+  PointSet ps(2);
+  for (auto [cx, cy] : centers) {
+    for (int64_t i = 0; i < per_blob; ++i) {
+      ps.Append(std::vector<double>{rng.NextGaussian(cx, sigma),
+                                    rng.NextGaussian(cy, sigma)});
+    }
+  }
+  return ps;
+}
+
+TEST(KMedoidsTest, RejectsBadArguments) {
+  PointSet ps(2, {0.0, 0.0, 1.0, 1.0});
+  KMedoidsOptions bad;
+  bad.num_clusters = 0;
+  EXPECT_FALSE(KMedoidsCluster(ps, {}, bad).ok());
+  KMedoidsOptions opts;
+  EXPECT_FALSE(KMedoidsCluster(PointSet(2), {}, opts).ok());
+  EXPECT_FALSE(KMedoidsCluster(ps, {1.0}, opts).ok());
+  EXPECT_FALSE(KMedoidsCluster(ps, {1.0, 0.0}, opts).ok());
+}
+
+TEST(KMedoidsTest, MedoidsAreDataPoints) {
+  PointSet ps = Blobs({{0.2, 0.2}, {0.8, 0.8}}, 100, 0.05, 1);
+  KMedoidsOptions opts;
+  opts.num_clusters = 2;
+  auto result = KMedoidsCluster(ps, {}, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->medoid_indices.size(), 2u);
+  for (size_t c = 0; c < 2; ++c) {
+    int64_t idx = result->medoid_indices[c];
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, ps.size());
+    // The reported centroid is the medoid point itself.
+    EXPECT_EQ(result->clustering.clusters[c].centroid,
+              ps[idx].ToVector());
+  }
+}
+
+TEST(KMedoidsTest, RecoversSeparatedBlobs) {
+  PointSet ps = Blobs({{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}}, 150, 0.04, 2);
+  KMedoidsOptions opts;
+  opts.num_clusters = 3;
+  auto result = KMedoidsCluster(ps, {}, opts);
+  ASSERT_TRUE(result.ok());
+  for (const Cluster& c : result->clustering.clusters) {
+    EXPECT_EQ(c.members.size(), 150u);
+  }
+  // Medoids land near the blob centers.
+  for (auto [ex, ey] : {std::pair{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}}) {
+    double best = 1e9;
+    for (int64_t idx : result->medoid_indices) {
+      double dx = ps[idx][0] - ex;
+      double dy = ps[idx][1] - ey;
+      best = std::min(best, std::sqrt(dx * dx + dy * dy));
+    }
+    EXPECT_LT(best, 0.03);
+  }
+}
+
+TEST(KMedoidsTest, ScatteredOutliersDoNotClaimAMedoid) {
+  // Three isolated points in DIFFERENT directions: no single medoid can
+  // serve more than one, so dedicating a medoid to any of them saves less
+  // than it costs to merge the two 200-point blobs. Both medoids must stay
+  // in the blobs (k-means, by contrast, drags its centers outward).
+  PointSet ps = Blobs({{0.2, 0.5}, {0.8, 0.5}}, 200, 0.03, 3);
+  ps.Append(std::vector<double>{5.0, 0.5});
+  ps.Append(std::vector<double>{-4.0, 0.5});
+  ps.Append(std::vector<double>{0.5, 6.0});
+  KMedoidsOptions opts;
+  opts.num_clusters = 2;
+  opts.seed = 5;
+  auto result = KMedoidsCluster(ps, {}, opts);
+  ASSERT_TRUE(result.ok());
+  for (int64_t idx : result->medoid_indices) {
+    EXPECT_GT(ps[idx][0], -0.5);
+    EXPECT_LT(ps[idx][0], 1.5);
+    EXPECT_NEAR(ps[idx][1], 0.5, 0.3);
+  }
+}
+
+TEST(KMedoidsTest, WeightsPullTheMedoid) {
+  // Five collinear points; a dominant weight on one end must make it the
+  // 1-medoid.
+  PointSet ps(1, {0.0, 1.0, 2.0, 3.0, 4.0});
+  KMedoidsOptions opts;
+  opts.num_clusters = 1;
+  auto plain = KMedoidsCluster(ps, {}, opts);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->medoid_indices[0], 2);  // the median
+
+  auto weighted = KMedoidsCluster(ps, {100.0, 1.0, 1.0, 1.0, 1.0}, opts);
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_EQ(weighted->medoid_indices[0], 0);
+}
+
+TEST(KMedoidsTest, MetricChangesTheObjective) {
+  // L2 vs Linf pick different medoids for an L-shaped configuration.
+  PointSet ps(2, {0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.9, 0.9});
+  KMedoidsOptions l2;
+  l2.num_clusters = 1;
+  l2.metric = Metric::kL2;
+  KMedoidsOptions linf = l2;
+  linf.metric = Metric::kLinf;
+  auto a = KMedoidsCluster(ps, {}, l2);
+  auto b = KMedoidsCluster(ps, {}, linf);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both give a valid single cluster with all members.
+  EXPECT_EQ(a->clustering.clusters[0].members.size(), 4u);
+  EXPECT_EQ(b->clustering.clusters[0].members.size(), 4u);
+  // Costs are metric-consistent: recompute and compare.
+  auto recompute = [&](const KMedoidsResult& r, Metric m) {
+    double sum = 0;
+    for (int64_t i = 0; i < ps.size(); ++i) {
+      sum += data::Distance(ps[i], ps[r.medoid_indices[0]], m);
+    }
+    return sum;
+  };
+  EXPECT_NEAR(a->cost, recompute(*a, Metric::kL2), 1e-9);
+  EXPECT_NEAR(b->cost, recompute(*b, Metric::kLinf), 1e-9);
+}
+
+TEST(KMedoidsTest, CostNeverBelowZeroAndConverges) {
+  PointSet ps = Blobs({{0.3, 0.3}, {0.7, 0.7}}, 300, 0.1, 7);
+  KMedoidsOptions opts;
+  opts.num_clusters = 2;
+  opts.max_iterations = 50;
+  auto result = KMedoidsCluster(ps, {}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->cost, 0.0);
+  EXPECT_LT(result->iterations, 50);
+}
+
+TEST(KMedoidsTest, KLargerThanN) {
+  PointSet ps(2, {0.0, 0.0, 1.0, 1.0});
+  KMedoidsOptions opts;
+  opts.num_clusters = 5;
+  auto result = KMedoidsCluster(ps, {}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.num_clusters(), 2);
+  EXPECT_NEAR(result->cost, 0.0, 1e-12);
+}
+
+TEST(KMedoidsTest, DeterministicPerSeed) {
+  PointSet ps = Blobs({{0.25, 0.5}, {0.75, 0.5}}, 120, 0.06, 9);
+  KMedoidsOptions opts;
+  opts.num_clusters = 2;
+  opts.seed = 13;
+  auto a = KMedoidsCluster(ps, {}, opts);
+  auto b = KMedoidsCluster(ps, {}, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->medoid_indices, b->medoid_indices);
+  EXPECT_EQ(a->clustering.labels, b->clustering.labels);
+}
+
+}  // namespace
+}  // namespace dbs::cluster

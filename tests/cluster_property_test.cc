@@ -1,0 +1,267 @@
+// Randomized invariant tests for the clustering substrates: CF-tree
+// structural invariants under arbitrary insertion streams, and the
+// hierarchical algorithm validated against a brute-force reference
+// implementation of the same merge rule.
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cf_tree.h"
+#include "cluster/hierarchical.h"
+#include "data/distance.h"
+#include "data/point_set.h"
+#include "util/rng.h"
+
+namespace dbs::cluster {
+namespace {
+
+using data::PointSet;
+using data::PointView;
+
+PointSet RandomStream(int64_t n, int dim, int blobs, uint64_t seed) {
+  Rng rng(seed);
+  PointSet ps(dim);
+  std::vector<double> centers(static_cast<size_t>(blobs) * dim);
+  for (double& c : centers) c = rng.NextDouble();
+  std::vector<double> buf(dim);
+  for (int64_t i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.2)) {
+      for (int j = 0; j < dim; ++j) buf[j] = rng.NextDouble();
+    } else {
+      int b = static_cast<int>(rng.NextBounded(blobs));
+      for (int j = 0; j < dim; ++j) {
+        buf[j] = rng.NextGaussian(centers[b * dim + j], 0.03);
+      }
+    }
+    ps.Append(buf);
+  }
+  return ps;
+}
+
+class CfTreeInvariantTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int, int64_t>> {};
+
+TEST_P(CfTreeInvariantTest, MassIsConservedAndBudgetRespected) {
+  auto [n, dim, budget_kb] = GetParam();
+  PointSet ps = RandomStream(n, dim, 4, 100 + n + dim);
+  CfTreeOptions opts;
+  opts.memory_budget_bytes = budget_kb * 1024;
+  auto tree = CfTree::Create(dim, opts);
+  ASSERT_TRUE(tree.ok());
+  for (int64_t i = 0; i < ps.size(); ++i) tree->Insert(ps[i]);
+
+  // Invariant 1: every inserted point is accounted for.
+  EXPECT_EQ(tree->num_points(), n);
+  double mass = 0;
+  std::vector<double> ls_sum(dim, 0.0);
+  for (const ClusteringFeature& cf : tree->LeafEntries()) {
+    EXPECT_GT(cf.n, 0);
+    mass += cf.n;
+    for (int j = 0; j < dim; ++j) ls_sum[j] += cf.ls[j];
+  }
+  EXPECT_DOUBLE_EQ(mass, static_cast<double>(n));
+
+  // Invariant 2: the linear sums add up to the data's column sums (the
+  // additivity that makes CF maintenance correct).
+  for (int j = 0; j < dim; ++j) {
+    double truth = 0;
+    for (int64_t i = 0; i < ps.size(); ++i) truth += ps[i][j];
+    EXPECT_NEAR(ls_sum[j], truth, 1e-6 * std::abs(truth) + 1e-9);
+  }
+
+  // Invariant 3: the memory budget holds after every insert (checked at
+  // the end here; Insert enforces it internally).
+  EXPECT_LE(tree->memory_bytes(), opts.memory_budget_bytes);
+
+  // Invariant 4: all leaf radii respect the final threshold... not exactly
+  // (entries are built incrementally under smaller thresholds), but no
+  // leaf entry can have radius beyond the final threshold plus the largest
+  // merge step; sanity-check they are finite and bounded by the domain.
+  for (const ClusteringFeature& cf : tree->LeafEntries()) {
+    EXPECT_LT(cf.Radius(), 2.0 * dim);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, CfTreeInvariantTest,
+                         ::testing::Values(std::make_tuple(500, 2, 1024),
+                                           std::make_tuple(5000, 2, 16),
+                                           std::make_tuple(5000, 3, 8),
+                                           std::make_tuple(20000, 2, 4),
+                                           std::make_tuple(3000, 5, 32)));
+
+TEST(CfTreeInvariantTest, ThresholdGrowsMonotonicallyAcrossRebuilds) {
+  CfTreeOptions opts;
+  opts.memory_budget_bytes = 4 * 1024;
+  auto tree = CfTree::Create(2, opts);
+  ASSERT_TRUE(tree.ok());
+  PointSet ps = RandomStream(20000, 2, 4, 55);
+  double last_threshold = 0.0;
+  for (int64_t i = 0; i < ps.size(); ++i) {
+    tree->Insert(ps[i]);
+    EXPECT_GE(tree->threshold(), last_threshold);
+    last_threshold = tree->threshold();
+  }
+  EXPECT_GT(tree->rebuilds(), 0);
+}
+
+// Brute-force reference: repeatedly merge the closest pair by minimum
+// representative distance, with the same scatter/shrink policy, in
+// O(n^3)-ish time. Small inputs only.
+ClusteringResult ReferenceHierarchical(const PointSet& points, int k,
+                                       const HierarchicalOptions& options) {
+  struct RefCluster {
+    std::vector<int64_t> members;
+    std::vector<double> centroid;
+    PointSet scattered{2};
+    PointSet reps{2};
+  };
+  auto shrink = [&](const PointSet& scattered,
+                    const std::vector<double>& centroid) {
+    PointSet out(points.dim());
+    std::vector<double> buf(points.dim());
+    for (int64_t i = 0; i < scattered.size(); ++i) {
+      for (int j = 0; j < points.dim(); ++j) {
+        buf[j] = scattered[i][j] +
+                 options.shrink_factor * (centroid[j] - scattered[i][j]);
+      }
+      out.Append(buf);
+    }
+    return out;
+  };
+  auto select_scattered = [&](const PointSet& pool,
+                              const std::vector<double>& centroid) {
+    if (pool.size() <= options.num_representatives) return pool;
+    PointSet out(points.dim());
+    std::vector<bool> taken(pool.size(), false);
+    PointView mean(centroid.data(), points.dim());
+    int64_t first = 0;
+    double far = -1;
+    for (int64_t i = 0; i < pool.size(); ++i) {
+      double d2 = data::SquaredL2(pool[i], mean);
+      if (d2 > far) {
+        far = d2;
+        first = i;
+      }
+    }
+    out.Append(pool[first]);
+    taken[first] = true;
+    while (out.size() < options.num_representatives) {
+      int64_t pick = -1;
+      double best = -1;
+      for (int64_t i = 0; i < pool.size(); ++i) {
+        if (taken[i]) continue;
+        double mind = std::numeric_limits<double>::infinity();
+        for (int64_t s = 0; s < out.size(); ++s) {
+          mind = std::min(mind, data::SquaredL2(pool[i], out[s]));
+        }
+        if (mind > best) {
+          best = mind;
+          pick = i;
+        }
+      }
+      taken[pick] = true;
+      out.Append(pool[pick]);
+    }
+    return out;
+  };
+
+  std::vector<RefCluster> clusters;
+  for (int64_t i = 0; i < points.size(); ++i) {
+    RefCluster c;
+    c.members = {i};
+    c.centroid = points[i].ToVector();
+    c.scattered = PointSet(points.dim());
+    c.scattered.Append(points[i]);
+    c.reps = c.scattered;
+    clusters.push_back(std::move(c));
+  }
+  while (static_cast<int>(clusters.size()) > k) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t bu = 0;
+    size_t bv = 1;
+    for (size_t u = 0; u < clusters.size(); ++u) {
+      for (size_t v = u + 1; v < clusters.size(); ++v) {
+        double d = std::numeric_limits<double>::infinity();
+        for (int64_t i = 0; i < clusters[u].reps.size(); ++i) {
+          for (int64_t j = 0; j < clusters[v].reps.size(); ++j) {
+            d = std::min(d, data::SquaredL2(clusters[u].reps[i],
+                                            clusters[v].reps[j]));
+          }
+        }
+        if (d < best) {
+          best = d;
+          bu = u;
+          bv = v;
+        }
+      }
+    }
+    RefCluster& a = clusters[bu];
+    RefCluster& b = clusters[bv];
+    double wa = static_cast<double>(a.members.size());
+    double wb = static_cast<double>(b.members.size());
+    for (int j = 0; j < points.dim(); ++j) {
+      a.centroid[j] = (a.centroid[j] * wa + b.centroid[j] * wb) / (wa + wb);
+    }
+    a.members.insert(a.members.end(), b.members.begin(), b.members.end());
+    PointSet pool = a.scattered;
+    pool.AppendAll(b.scattered);
+    a.scattered = select_scattered(pool, a.centroid);
+    a.reps = shrink(a.scattered, a.centroid);
+    clusters.erase(clusters.begin() + static_cast<int64_t>(bv));
+  }
+
+  ClusteringResult result;
+  result.labels.assign(static_cast<size_t>(points.size()), -1);
+  for (RefCluster& c : clusters) {
+    Cluster out;
+    out.members = std::move(c.members);
+    out.centroid = std::move(c.centroid);
+    out.representatives = std::move(c.reps);
+    int32_t label = static_cast<int32_t>(result.clusters.size());
+    for (int64_t m : out.members) result.labels[m] = label;
+    result.clusters.push_back(std::move(out));
+  }
+  return result;
+}
+
+// Canonical partition signature: sorted list of sorted member lists.
+std::vector<std::vector<int64_t>> Partition(const ClusteringResult& r) {
+  std::vector<std::vector<int64_t>> out;
+  for (const Cluster& c : r.clusters) {
+    std::vector<int64_t> m = c.members;
+    std::sort(m.begin(), m.end());
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class HierarchicalVsReferenceTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int>> {};
+
+TEST_P(HierarchicalVsReferenceTest, MatchesBruteForceReference) {
+  auto [n, k] = GetParam();
+  PointSet ps = RandomStream(n, 2, 3, 500 + n + k);
+  HierarchicalOptions opts;
+  opts.num_clusters = k;
+  opts.eliminate_outliers = false;
+  auto fast = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(fast.ok());
+  ClusteringResult ref = ReferenceHierarchical(ps, k, opts);
+  EXPECT_EQ(Partition(*fast), Partition(ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallInputs, HierarchicalVsReferenceTest,
+                         ::testing::Values(std::make_tuple(20, 3),
+                                           std::make_tuple(40, 2),
+                                           std::make_tuple(60, 5),
+                                           std::make_tuple(80, 4),
+                                           std::make_tuple(120, 6)));
+
+}  // namespace
+}  // namespace dbs::cluster

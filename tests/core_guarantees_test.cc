@@ -1,0 +1,193 @@
+#include "core/guarantees.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dbs::core {
+namespace {
+
+TEST(GuhaBoundTest, PaperWorkedExample) {
+  // §1.1: xi = 0.2, |u| = 1000, delta = 0.1 -> ~25% of the dataset must be
+  // sampled under uniform sampling (the dominant term is independent of n
+  // for large n; check at n = 1e6).
+  const int64_t n = 1000000;
+  double s = GuhaUniformSampleSize(n, 1000, 0.2, 0.1);
+  EXPECT_NEAR(s / static_cast<double>(n), 0.25, 0.03);
+}
+
+TEST(GuhaBoundTest, MonotoneInConfidence) {
+  double loose = GuhaUniformSampleSize(100000, 500, 0.2, 0.5);
+  double tight = GuhaUniformSampleSize(100000, 500, 0.2, 0.01);
+  EXPECT_GT(tight, loose);
+}
+
+TEST(GuhaBoundTest, MonotoneInFraction) {
+  double small = GuhaUniformSampleSize(100000, 500, 0.1, 0.1);
+  double large = GuhaUniformSampleSize(100000, 500, 0.5, 0.1);
+  EXPECT_GT(large, small);
+}
+
+TEST(GuhaBoundTest, LargerClustersNeedSmallerSamples) {
+  double tiny_cluster = GuhaUniformSampleSize(100000, 100, 0.2, 0.1);
+  double big_cluster = GuhaUniformSampleSize(100000, 10000, 0.2, 0.1);
+  EXPECT_GT(tiny_cluster, big_cluster);
+}
+
+TEST(BinomialTailTest, ExactSmallCases) {
+  // P[Bin(2, 0.5) >= 1] = 0.75; P[Bin(2, 0.5) >= 2] = 0.25.
+  EXPECT_NEAR(BinomialTailGE(1, 2, 0.5), 0.75, 1e-12);
+  EXPECT_NEAR(BinomialTailGE(2, 2, 0.5), 0.25, 1e-12);
+  // P[Bin(3, 0.2) >= 1] = 1 - 0.8^3.
+  EXPECT_NEAR(BinomialTailGE(1, 3, 0.2), 1.0 - 0.512, 1e-12);
+}
+
+TEST(BinomialTailTest, EdgeCases) {
+  EXPECT_EQ(BinomialTailGE(0, 10, 0.5), 1.0);
+  EXPECT_EQ(BinomialTailGE(-3, 10, 0.5), 1.0);
+  EXPECT_EQ(BinomialTailGE(11, 10, 0.5), 0.0);
+  EXPECT_EQ(BinomialTailGE(5, 10, 0.0), 0.0);
+  EXPECT_EQ(BinomialTailGE(5, 10, 1.0), 1.0);
+}
+
+TEST(BinomialTailTest, MatchesMonteCarlo) {
+  dbs::Rng rng(3);
+  const int64_t trials = 100;
+  const double p = 0.3;
+  const int64_t k_min = 35;
+  const int sims = 200000;
+  int hits = 0;
+  for (int s = 0; s < sims; ++s) {
+    int count = 0;
+    for (int64_t t = 0; t < trials; ++t) {
+      if (rng.NextBernoulli(p)) ++count;
+    }
+    if (count >= k_min) ++hits;
+  }
+  double mc = static_cast<double>(hits) / sims;
+  EXPECT_NEAR(BinomialTailGE(k_min, trials, p), mc, 0.01);
+}
+
+TEST(BinomialTailTest, MonotoneInP) {
+  double prev = 0.0;
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    double tail = BinomialTailGE(40, 100, p);
+    EXPECT_GE(tail, prev - 1e-12);
+    prev = tail;
+  }
+}
+
+TEST(CaptureProbabilityTest, UniformCaptureGrowsWithSampleSize) {
+  double small = UniformCaptureProbability(100000, 1000, 0.2, 5000);
+  double large = UniformCaptureProbability(100000, 1000, 0.2, 50000);
+  EXPECT_LT(small, large);
+  EXPECT_GT(large, 0.99);
+}
+
+TEST(CaptureProbabilityTest, GuhaBoundIsConservative) {
+  // The closed-form bound must never be smaller than the exact requirement.
+  for (int64_t u : {200, 1000, 5000}) {
+    for (double xi : {0.1, 0.2, 0.4}) {
+      const int64_t n = 100000;
+      double exact = MinUniformSampleSize(n, u, xi, 0.1);
+      double bound = GuhaUniformSampleSize(n, u, xi, 0.1);
+      EXPECT_GE(bound, exact * 0.999) << "u=" << u << " xi=" << xi;
+    }
+  }
+}
+
+TEST(CaptureProbabilityTest, MinUniformSampleSizeAchievesGuarantee) {
+  const int64_t n = 50000;
+  const int64_t u = 800;
+  const double xi = 0.25;
+  const double delta = 0.1;
+  double s = MinUniformSampleSize(n, u, xi, delta);
+  EXPECT_GE(UniformCaptureProbability(n, u, xi, s * 1.001), 1.0 - delta);
+  EXPECT_LT(UniformCaptureProbability(n, u, xi, s * 0.9), 1.0 - delta);
+}
+
+TEST(BiasedRuleTest, Theorem1SavingsComeFromTheOutOfClusterRate) {
+  // The cluster-capture guarantee is a Binomial(|u|, rate) tail in both
+  // schemes, so the minimal in-cluster rate is identical; the biased
+  // scheme's entire saving is that it keeps OUT-of-cluster points at a
+  // lower rate than uniform sampling's single global rate.
+  const int64_t n = 1000000;
+  const int64_t u = 1000;
+  const double xi = 0.2;
+  const double delta = 0.1;
+
+  double uniform_size = MinUniformSampleSize(n, u, xi, delta);
+  double uniform_rate = uniform_size / static_cast<double>(n);
+  double p_min = MinBiasedInclusionProbability(u, xi, delta);
+  // Identical binomial => identical minimal in-cluster rate.
+  EXPECT_NEAR(p_min, uniform_rate, 1e-6);
+  EXPECT_GT(p_min, static_cast<double>(u) / static_cast<double>(n));
+  EXPECT_GE(BiasedCaptureProbability(u, xi, p_min * 1.001), 1.0 - delta);
+
+  // A density-biased sampler keeping noise at a tenth of the uniform rate
+  // meets the same guarantee with ~10x less data.
+  double biased_size =
+      BiasedRuleExpectedSampleSize(n, u, p_min, uniform_rate / 10.0);
+  EXPECT_LT(biased_size, 0.2 * uniform_size);
+  // And the guarantee itself is untouched by the out-rate: it only depends
+  // on the in-cluster probability.
+  EXPECT_GE(BiasedCaptureProbability(u, xi, p_min * 1.001), 1.0 - delta);
+}
+
+TEST(BiasedRuleTest, LiteralRuleRCrossover) {
+  // Under the literal rule (out-rate = 1 - p), the expected size undercuts
+  // a target s only for p above the crossover; verify the closed form.
+  const int64_t n = 1000000;
+  const int64_t u = 1000;
+  double s = 216000.0;
+  double p_star = RuleRCrossoverP(n, u, s);
+  EXPECT_GT(p_star, 0.0);
+  EXPECT_LT(p_star, 1.0);
+  double at_star = BiasedRuleExpectedSampleSize(n, u, p_star, 1.0 - p_star);
+  EXPECT_NEAR(at_star, s, 1.0);
+  double above = BiasedRuleExpectedSampleSize(n, u, p_star + 0.05,
+                                              1.0 - (p_star + 0.05));
+  EXPECT_LT(above, s);
+  // Small datasets (n <= 2u) can never undercut: crossover saturates at 1.
+  EXPECT_EQ(RuleRCrossoverP(1500, 1000, 100.0), 1.0);
+}
+
+TEST(BiasedRuleTest, MinBiasedPAchievesGuarantee) {
+  const int64_t u = 500;
+  const double xi = 0.3;
+  const double delta = 0.05;
+  double p = MinBiasedInclusionProbability(u, xi, delta);
+  EXPECT_GE(BiasedCaptureProbability(u, xi, p * 1.001), 1.0 - delta);
+  EXPECT_LT(BiasedCaptureProbability(u, xi, p * 0.9), 1.0 - delta);
+}
+
+TEST(BiasedRuleTest, ExpectedSampleSizeBookkeeping) {
+  EXPECT_DOUBLE_EQ(BiasedRuleExpectedSampleSize(1000, 100, 0.5, 0.1),
+                   0.5 * 100 + 0.1 * 900);
+}
+
+TEST(BiasedRuleTest, MonteCarloConfirmsCaptureProbability) {
+  // Simulate rule R end to end: keep each of |u|=200 cluster points with
+  // p = 0.3, ask for xi = 0.25.
+  dbs::Rng rng(9);
+  const int64_t u = 200;
+  const double p = 0.3;
+  const double xi = 0.25;
+  const int sims = 100000;
+  const int64_t need = static_cast<int64_t>(std::ceil(xi * u));
+  int captured = 0;
+  for (int s = 0; s < sims; ++s) {
+    int kept = 0;
+    for (int64_t i = 0; i < u; ++i) {
+      if (rng.NextBernoulli(p)) ++kept;
+    }
+    if (kept >= need) ++captured;
+  }
+  double mc = static_cast<double>(captured) / sims;
+  EXPECT_NEAR(BiasedCaptureProbability(u, xi, p), mc, 0.01);
+}
+
+}  // namespace
+}  // namespace dbs::core

@@ -1,0 +1,101 @@
+#include "data/distance.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/point_set.h"
+#include "util/rng.h"
+
+namespace dbs::data {
+namespace {
+
+TEST(DistanceTest, KnownValues) {
+  PointSet ps(2, {0.0, 0.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(Distance(ps[0], ps[1], Metric::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(ps[0], ps[1], Metric::kL1), 7.0);
+  EXPECT_DOUBLE_EQ(Distance(ps[0], ps[1], Metric::kLinf), 4.0);
+  EXPECT_DOUBLE_EQ(SquaredL2(ps[0], ps[1]), 25.0);
+}
+
+TEST(DistanceTest, DefaultMetricIsL2) {
+  PointSet ps(2, {0.0, 0.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(Distance(ps[0], ps[1]), 5.0);
+}
+
+class MetricPropertyTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(MetricPropertyTest, IdentityAndSymmetry) {
+  Metric m = GetParam();
+  Rng rng(1);
+  PointSet ps(4);
+  for (int i = 0; i < 50; ++i) {
+    ps.Append(std::vector<double>{rng.NextDouble(-5, 5), rng.NextDouble(-5, 5),
+                                  rng.NextDouble(-5, 5),
+                                  rng.NextDouble(-5, 5)});
+  }
+  for (int64_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(Distance(ps[i], ps[i], m), 0.0);
+    for (int64_t j = i + 1; j < ps.size(); ++j) {
+      EXPECT_DOUBLE_EQ(Distance(ps[i], ps[j], m), Distance(ps[j], ps[i], m));
+      EXPECT_GT(Distance(ps[i], ps[j], m), 0.0);
+    }
+  }
+}
+
+TEST_P(MetricPropertyTest, TriangleInequality) {
+  Metric m = GetParam();
+  Rng rng(2);
+  PointSet ps(3);
+  for (int i = 0; i < 30; ++i) {
+    ps.Append(std::vector<double>{rng.NextDouble(), rng.NextDouble(),
+                                  rng.NextDouble()});
+  }
+  for (int64_t a = 0; a < ps.size(); ++a) {
+    for (int64_t b = 0; b < ps.size(); ++b) {
+      for (int64_t c = 0; c < ps.size(); ++c) {
+        EXPECT_LE(Distance(ps[a], ps[c], m),
+                  Distance(ps[a], ps[b], m) + Distance(ps[b], ps[c], m) +
+                      1e-12);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricPropertyTest,
+                         ::testing::Values(Metric::kL2, Metric::kL1,
+                                           Metric::kLinf));
+
+TEST(DistanceTest, NormOrderingHolds) {
+  // Linf <= L2 <= L1 for every pair.
+  Rng rng(3);
+  PointSet ps(5);
+  for (int i = 0; i < 40; ++i) {
+    ps.Append(std::vector<double>{rng.NextDouble(), rng.NextDouble(),
+                                  rng.NextDouble(), rng.NextDouble(),
+                                  rng.NextDouble()});
+  }
+  for (int64_t i = 0; i < ps.size(); ++i) {
+    for (int64_t j = i + 1; j < ps.size(); ++j) {
+      double l1 = Distance(ps[i], ps[j], Metric::kL1);
+      double l2 = Distance(ps[i], ps[j], Metric::kL2);
+      double linf = Distance(ps[i], ps[j], Metric::kLinf);
+      EXPECT_LE(linf, l2 + 1e-12);
+      EXPECT_LE(l2, l1 + 1e-12);
+      // Dimension-factor bounds: L1 <= d * Linf, L2 <= sqrt(d) * Linf.
+      EXPECT_LE(l1, 5 * linf + 1e-12);
+      EXPECT_LE(l2, std::sqrt(5.0) * linf + 1e-12);
+    }
+  }
+}
+
+TEST(DistanceTest, OneDimensionalMetricsCoincide) {
+  PointSet ps(1, {2.5, -1.5});
+  for (Metric m : {Metric::kL2, Metric::kL1, Metric::kLinf}) {
+    EXPECT_DOUBLE_EQ(Distance(ps[0], ps[1], m), 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace dbs::data

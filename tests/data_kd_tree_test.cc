@@ -1,0 +1,193 @@
+#include "data/kd_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/distance.h"
+#include "data/point_set.h"
+#include "util/rng.h"
+
+namespace dbs::data {
+namespace {
+
+PointSet MakeRandomPoints(int64_t n, int dim, uint64_t seed) {
+  dbs::Rng rng(seed);
+  PointSet ps(dim);
+  ps.Reserve(n);
+  std::vector<double> buf(dim);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) buf[j] = rng.NextDouble();
+    ps.Append(buf);
+  }
+  return ps;
+}
+
+int64_t BruteNearest(const PointSet& ps, PointView q, int64_t exclude) {
+  double best = std::numeric_limits<double>::infinity();
+  int64_t best_idx = -1;
+  for (int64_t i = 0; i < ps.size(); ++i) {
+    if (i == exclude) continue;
+    double d2 = SquaredL2(q, ps[i]);
+    if (d2 < best) {
+      best = d2;
+      best_idx = i;
+    }
+  }
+  return best_idx;
+}
+
+std::vector<int64_t> BruteWithinRadius(const PointSet& ps, PointView q,
+                                       double r) {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < ps.size(); ++i) {
+    if (SquaredL2(q, ps[i]) <= r * r) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  PointSet ps(2);
+  KdTree tree(&ps);
+  EXPECT_EQ(tree.size(), 0);
+  PointSet q(2, {0.0, 0.0});
+  EXPECT_EQ(tree.Nearest(q[0]), -1);
+  EXPECT_TRUE(tree.KNearest(q[0], 3).empty());
+  EXPECT_TRUE(tree.WithinRadius(q[0], 1.0).empty());
+  EXPECT_EQ(tree.CountWithinRadius(q[0], 1.0), 0);
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  PointSet ps(2, {0.5, 0.5});
+  KdTree tree(&ps);
+  PointSet q(2, {0.0, 0.0});
+  EXPECT_EQ(tree.Nearest(q[0]), 0);
+  EXPECT_EQ(tree.Nearest(ps[0], /*exclude=*/0), -1);
+}
+
+class KdTreeRandomTest : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(KdTreeRandomTest, NearestMatchesBruteForce) {
+  auto [n, dim] = GetParam();
+  PointSet ps = MakeRandomPoints(n, dim, 100 + n + dim);
+  KdTree tree(&ps);
+  PointSet queries = MakeRandomPoints(50, dim, 999 + dim);
+  for (int64_t qi = 0; qi < queries.size(); ++qi) {
+    int64_t got = tree.Nearest(queries[qi]);
+    int64_t want = BruteNearest(ps, queries[qi], -1);
+    // Ties are possible in principle; compare distances, not indices.
+    EXPECT_DOUBLE_EQ(SquaredL2(queries[qi], ps[got]),
+                     SquaredL2(queries[qi], ps[want]));
+  }
+}
+
+TEST_P(KdTreeRandomTest, KNearestMatchesBruteForce) {
+  auto [n, dim] = GetParam();
+  PointSet ps = MakeRandomPoints(n, dim, 200 + n + dim);
+  KdTree tree(&ps);
+  PointSet queries = MakeRandomPoints(20, dim, 555 + dim);
+  const int k = std::min<int>(7, n);
+  for (int64_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<int64_t> got = tree.KNearest(queries[qi], k);
+    ASSERT_EQ(static_cast<int>(got.size()), k);
+    // Sorted ascending by distance.
+    std::vector<double> dists;
+    for (int64_t idx : got) {
+      dists.push_back(SquaredL2(queries[qi], ps[idx]));
+    }
+    EXPECT_TRUE(std::is_sorted(dists.begin(), dists.end()));
+    // Compare against brute-force distances (handles ties by distance).
+    std::vector<double> all;
+    for (int64_t i = 0; i < ps.size(); ++i) {
+      all.push_back(SquaredL2(queries[qi], ps[i]));
+    }
+    std::sort(all.begin(), all.end());
+    for (int i = 0; i < k; ++i) EXPECT_DOUBLE_EQ(dists[i], all[i]);
+  }
+}
+
+TEST_P(KdTreeRandomTest, RadiusSearchMatchesBruteForce) {
+  auto [n, dim] = GetParam();
+  PointSet ps = MakeRandomPoints(n, dim, 300 + n + dim);
+  KdTree tree(&ps);
+  PointSet queries = MakeRandomPoints(20, dim, 777 + dim);
+  for (int64_t qi = 0; qi < queries.size(); ++qi) {
+    for (double r : {0.05, 0.2, 0.5}) {
+      std::vector<int64_t> got = tree.WithinRadius(queries[qi], r);
+      std::vector<int64_t> want = BruteWithinRadius(ps, queries[qi], r);
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, want) << "r=" << r;
+      EXPECT_EQ(tree.CountWithinRadius(queries[qi], r),
+                static_cast<int64_t>(want.size()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KdTreeRandomTest,
+                         ::testing::Values(std::make_tuple(1, 2),
+                                           std::make_tuple(15, 2),
+                                           std::make_tuple(16, 2),
+                                           std::make_tuple(17, 3),
+                                           std::make_tuple(200, 2),
+                                           std::make_tuple(500, 3),
+                                           std::make_tuple(500, 5),
+                                           std::make_tuple(1000, 4)));
+
+TEST(KdTreeTest, CountWithinRadiusEarlyAbort) {
+  PointSet ps = MakeRandomPoints(1000, 2, 42);
+  KdTree tree(&ps);
+  PointSet q(2, {0.5, 0.5});
+  int64_t full = tree.CountWithinRadius(q[0], 0.4);
+  ASSERT_GT(full, 10);
+  // With cap=5 the count stops at 6 (cap+1).
+  EXPECT_EQ(tree.CountWithinRadius(q[0], 0.4, /*cap=*/5), 6);
+  // A cap above the true count returns the true count.
+  EXPECT_EQ(tree.CountWithinRadius(q[0], 0.4, /*cap=*/full + 10), full);
+}
+
+TEST(KdTreeTest, ExcludeSkipsSelf) {
+  PointSet ps = MakeRandomPoints(100, 3, 17);
+  KdTree tree(&ps);
+  for (int64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(tree.Nearest(ps[i]), i);  // self is its own NN at distance 0
+    int64_t nn = tree.Nearest(ps[i], /*exclude=*/i);
+    EXPECT_NE(nn, i);
+    EXPECT_EQ(nn, BruteNearest(ps, ps[i], i));
+  }
+}
+
+TEST(KdTreeTest, SubsetConstructor) {
+  PointSet ps(1, {0.0, 10.0, 20.0, 30.0, 40.0});
+  KdTree tree(&ps, {1, 3});
+  EXPECT_EQ(tree.size(), 2);
+  PointSet q(1, {12.0});
+  EXPECT_EQ(tree.Nearest(q[0]), 1);  // index into the original set
+  PointSet q2(1, {29.0});
+  EXPECT_EQ(tree.Nearest(q2[0]), 3);
+  std::vector<int64_t> in_radius = tree.WithinRadius(q[0], 100.0);
+  std::sort(in_radius.begin(), in_radius.end());
+  EXPECT_EQ(in_radius, (std::vector<int64_t>{1, 3}));
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  PointSet ps(2);
+  for (int i = 0; i < 30; ++i) ps.Append(std::vector<double>{1.0, 1.0});
+  KdTree tree(&ps);
+  PointSet q(2, {1.0, 1.0});
+  EXPECT_EQ(tree.CountWithinRadius(q[0], 0.0), 30);
+  EXPECT_EQ(tree.WithinRadius(q[0], 0.1).size(), 30u);
+}
+
+TEST(KdTreeTest, KNearestWithKLargerThanTree) {
+  PointSet ps = MakeRandomPoints(5, 2, 3);
+  KdTree tree(&ps);
+  PointSet q(2, {0.5, 0.5});
+  std::vector<int64_t> got = tree.KNearest(q[0], 50);
+  EXPECT_EQ(got.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dbs::data

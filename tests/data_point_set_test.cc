@@ -1,0 +1,93 @@
+#include "data/point_set.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbs::data {
+namespace {
+
+TEST(PointSetTest, EmptySet) {
+  PointSet ps(3);
+  EXPECT_EQ(ps.dim(), 3);
+  EXPECT_EQ(ps.size(), 0);
+  EXPECT_TRUE(ps.empty());
+}
+
+TEST(PointSetTest, AppendAndIndex) {
+  PointSet ps(2);
+  ps.Append(std::vector<double>{1.0, 2.0});
+  ps.Append(std::vector<double>{3.0, 4.0});
+  ASSERT_EQ(ps.size(), 2);
+  EXPECT_EQ(ps[0][0], 1.0);
+  EXPECT_EQ(ps[0][1], 2.0);
+  EXPECT_EQ(ps[1][0], 3.0);
+  EXPECT_EQ(ps[1][1], 4.0);
+}
+
+TEST(PointSetTest, InitializerListConstructor) {
+  PointSet ps(2, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  ASSERT_EQ(ps.size(), 3);
+  EXPECT_EQ(ps[2][1], 6.0);
+}
+
+TEST(PointSetTest, AppendPointView) {
+  PointSet a(2, {7.0, 8.0});
+  PointSet b(2);
+  b.Append(a[0]);
+  ASSERT_EQ(b.size(), 1);
+  EXPECT_EQ(b[0][0], 7.0);
+}
+
+TEST(PointSetTest, AppendAll) {
+  PointSet a(2, {1.0, 2.0});
+  PointSet b(2, {3.0, 4.0, 5.0, 6.0});
+  a.AppendAll(b);
+  ASSERT_EQ(a.size(), 3);
+  EXPECT_EQ(a[2][0], 5.0);
+
+  PointSet c;  // dimensionless adopts dim on first AppendAll
+  c.AppendAll(b);
+  EXPECT_EQ(c.dim(), 2);
+  EXPECT_EQ(c.size(), 2);
+}
+
+TEST(PointSetTest, MutableRow) {
+  PointSet ps(2, {1.0, 2.0});
+  ps.MutableRow(0)[1] = 9.0;
+  EXPECT_EQ(ps[0][1], 9.0);
+}
+
+TEST(PointSetTest, Gather) {
+  PointSet ps(1, {10.0, 20.0, 30.0, 40.0});
+  PointSet g = ps.Gather({3, 1, 1});
+  ASSERT_EQ(g.size(), 3);
+  EXPECT_EQ(g[0][0], 40.0);
+  EXPECT_EQ(g[1][0], 20.0);
+  EXPECT_EQ(g[2][0], 20.0);
+}
+
+TEST(PointSetTest, ClearKeepsDim) {
+  PointSet ps(4, {1, 2, 3, 4});
+  ps.Clear();
+  EXPECT_EQ(ps.size(), 0);
+  EXPECT_EQ(ps.dim(), 4);
+}
+
+TEST(PointViewTest, IterationAndToVector) {
+  PointSet ps(3, {1.0, 2.0, 3.0});
+  PointView v = ps[0];
+  double sum = 0.0;
+  for (double c : v) sum += c;
+  EXPECT_EQ(sum, 6.0);
+  EXPECT_EQ(v.ToVector(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(PointViewTest, DefaultIsEmpty) {
+  PointView v;
+  EXPECT_EQ(v.dim(), 0);
+  EXPECT_EQ(v.data(), nullptr);
+}
+
+}  // namespace
+}  // namespace dbs::data

@@ -1,0 +1,129 @@
+#include "density/kernel.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "density/bandwidth.h"
+
+namespace dbs::density {
+namespace {
+
+constexpr KernelType kAllKernels[] = {
+    KernelType::kEpanechnikov, KernelType::kQuartic, KernelType::kTriangular,
+    KernelType::kUniform, KernelType::kGaussian};
+
+class KernelPropertyTest : public ::testing::TestWithParam<KernelType> {};
+
+TEST_P(KernelPropertyTest, IntegratesToOne) {
+  KernelType type = GetParam();
+  double r = KernelSupportRadius(type);
+  const int steps = 200000;
+  double dx = 2 * r / steps;
+  double integral = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    double u = -r + (i + 0.5) * dx;
+    integral += KernelValue(type, u) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3) << KernelTypeName(type);
+}
+
+TEST_P(KernelPropertyTest, IsSymmetric) {
+  KernelType type = GetParam();
+  for (double u : {0.1, 0.3, 0.77, 0.99, 1.5, 3.0}) {
+    EXPECT_DOUBLE_EQ(KernelValue(type, u), KernelValue(type, -u));
+  }
+}
+
+TEST_P(KernelPropertyTest, NonNegativeEverywhere) {
+  KernelType type = GetParam();
+  for (double u = -5.0; u <= 5.0; u += 0.01) {
+    EXPECT_GE(KernelValue(type, u), 0.0);
+  }
+}
+
+TEST_P(KernelPropertyTest, ZeroOutsideSupport) {
+  KernelType type = GetParam();
+  double r = KernelSupportRadius(type);
+  EXPECT_EQ(KernelValue(type, r + 1e-9), 0.0);
+  EXPECT_EQ(KernelValue(type, -(r + 1e-9)), 0.0);
+  EXPECT_EQ(KernelValue(type, 100.0), 0.0);
+}
+
+TEST_P(KernelPropertyTest, MonotoneDecreasingFromCenter) {
+  KernelType type = GetParam();
+  double prev = KernelValue(type, 0.0);
+  for (double u = 0.05; u <= KernelSupportRadius(type); u += 0.05) {
+    double v = KernelValue(type, u);
+    EXPECT_LE(v, prev + 1e-12) << KernelTypeName(type) << " at u=" << u;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelPropertyTest,
+                         ::testing::ValuesIn(kAllKernels),
+                         [](const auto& info) {
+                           return std::string(KernelTypeName(info.param));
+                         });
+
+TEST(KernelValueTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(KernelValue(KernelType::kEpanechnikov, 0.0), 0.75);
+  EXPECT_DOUBLE_EQ(KernelValue(KernelType::kEpanechnikov, 0.5), 0.75 * 0.75);
+  EXPECT_DOUBLE_EQ(KernelValue(KernelType::kUniform, 0.9), 0.5);
+  EXPECT_DOUBLE_EQ(KernelValue(KernelType::kTriangular, 0.25), 0.75);
+  EXPECT_NEAR(KernelValue(KernelType::kGaussian, 0.0), 0.39894228, 1e-8);
+}
+
+TEST(KernelCanonicalBandwidthTest, KnownFactors) {
+  EXPECT_NEAR(KernelCanonicalBandwidth(KernelType::kEpanechnikov),
+              std::sqrt(5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(KernelCanonicalBandwidth(KernelType::kGaussian), 1.0);
+}
+
+TEST(BandwidthTest, ScottRuleScalesWithSigmaAndM) {
+  std::vector<double> sigma{1.0, 2.0};
+  auto h1 = ComputeBandwidths(BandwidthRule::kScott,
+                              KernelType::kEpanechnikov, sigma, 1000, 0.0);
+  ASSERT_EQ(h1.size(), 2u);
+  // Per-dimension proportionality to sigma.
+  EXPECT_NEAR(h1[1] / h1[0], 2.0, 1e-12);
+  // Exact Scott value for d=2: sqrt(5) * sigma * m^(-1/6).
+  EXPECT_NEAR(h1[0], std::sqrt(5.0) * std::pow(1000.0, -1.0 / 6.0), 1e-12);
+  // More kernels -> narrower bandwidth.
+  auto h2 = ComputeBandwidths(BandwidthRule::kScott,
+                              KernelType::kEpanechnikov, sigma, 8000, 0.0);
+  EXPECT_LT(h2[0], h1[0]);
+}
+
+TEST(BandwidthTest, SilvermanIsScaledScott) {
+  std::vector<double> sigma{1.0};
+  auto scott = ComputeBandwidths(BandwidthRule::kScott,
+                                 KernelType::kGaussian, sigma, 500, 0.0);
+  auto silverman = ComputeBandwidths(BandwidthRule::kSilverman,
+                                     KernelType::kGaussian, sigma, 500, 0.0);
+  double expected = std::pow(4.0 / 3.0, 0.2);
+  EXPECT_NEAR(silverman[0] / scott[0], expected, 1e-12);
+}
+
+TEST(BandwidthTest, FixedRuleIgnoresSigma) {
+  std::vector<double> sigma{1.0, 100.0, 0.0};
+  auto h = ComputeBandwidths(BandwidthRule::kFixed,
+                             KernelType::kEpanechnikov, sigma, 10, 0.25);
+  EXPECT_EQ(h, (std::vector<double>{0.25, 0.25, 0.25}));
+}
+
+TEST(BandwidthTest, DegenerateSigmaGetsFloor) {
+  std::vector<double> sigma{0.0};
+  auto h = ComputeBandwidths(BandwidthRule::kScott,
+                             KernelType::kEpanechnikov, sigma, 100, 0.0);
+  EXPECT_GT(h[0], 0.0);
+}
+
+TEST(KernelTypeNameTest, Names) {
+  EXPECT_STREQ(KernelTypeName(KernelType::kEpanechnikov), "epanechnikov");
+  EXPECT_STREQ(KernelTypeName(KernelType::kGaussian), "gaussian");
+}
+
+}  // namespace
+}  // namespace dbs::density

@@ -1,0 +1,160 @@
+#include "eval/sample_quality.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/biased_sampler.h"
+#include "data/point_set.h"
+#include "density/kde.h"
+#include "util/rng.h"
+
+namespace dbs::eval {
+namespace {
+
+using core::BiasedSample;
+using data::PointSet;
+
+BiasedSample MakeSample(const std::vector<double>& probs,
+                        const std::vector<double>& densities) {
+  BiasedSample sample;
+  sample.points = PointSet(1);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    double x = static_cast<double>(i);
+    sample.points.Append(&x);
+  }
+  sample.inclusion_probs = probs;
+  sample.densities = densities;
+  return sample;
+}
+
+TEST(EffectiveSampleSizeTest, EqualWeightsGiveFullSize) {
+  BiasedSample sample =
+      MakeSample({0.1, 0.1, 0.1, 0.1}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(EffectiveSampleSize(sample), 4.0, 1e-12);
+}
+
+TEST(EffectiveSampleSizeTest, SkewedWeightsShrinkIt) {
+  // One point with weight 100, three with weight 1:
+  // n_eff = 103^2 / (10000 + 3) ~ 1.06.
+  BiasedSample sample =
+      MakeSample({0.01, 1.0, 1.0, 1.0}, {1.0, 1.0, 1.0, 1.0});
+  EXPECT_NEAR(EffectiveSampleSize(sample), 103.0 * 103.0 / 10003.0, 1e-9);
+  EXPECT_LT(EffectiveSampleSize(sample), 2.0);
+}
+
+TEST(EffectiveSampleSizeTest, EmptySampleIsZero) {
+  BiasedSample sample;
+  EXPECT_EQ(EffectiveSampleSize(sample), 0.0);
+}
+
+TEST(DecileSharesTest, UniformProbabilitiesGiveUniformWeightedShares) {
+  std::vector<double> probs(100, 0.05);
+  std::vector<double> densities(100);
+  for (int i = 0; i < 100; ++i) densities[i] = i;
+  BiasedSample sample = MakeSample(probs, densities);
+  DecileShares shares = DensityDecileShares(sample);
+  ASSERT_EQ(shares.weighted_share.size(), 10u);
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_NEAR(shares.unweighted_share[d], 0.1, 1e-12);
+    EXPECT_NEAR(shares.weighted_share[d], 0.1, 1e-12);
+  }
+  // Boundaries are the decile maxima of the densities.
+  EXPECT_EQ(shares.density_boundaries[0], 9.0);
+  EXPECT_EQ(shares.density_boundaries[9], 99.0);
+}
+
+TEST(DecileSharesTest, WeightsUndoDensityBias) {
+  // Densities 1..100; inclusion probability proportional to density (a=1).
+  // Unweighted: the top decile holds 10% of POINTS but the weighted shares
+  // must be ~uniform in... no: weights 1/p reweight toward LOW densities.
+  // The weighted share of decile d is (count * 1/p_d) which is largest for
+  // the lowest decile; verify monotone decrease.
+  std::vector<double> probs(100);
+  std::vector<double> densities(100);
+  for (int i = 0; i < 100; ++i) {
+    densities[i] = 1.0 + i;
+    probs[i] = densities[i] / 200.0;
+  }
+  BiasedSample sample = MakeSample(probs, densities);
+  DecileShares shares = DensityDecileShares(sample);
+  for (int d = 1; d < 10; ++d) {
+    EXPECT_LT(shares.weighted_share[d], shares.weighted_share[d - 1]);
+  }
+}
+
+TEST(ClusterMassFractionTest, ThresholdSplitsTheMass) {
+  // Two densities: 90 points at density 1 (prob .1 -> weight 10 each) and
+  // 10 at density 10 (prob 1 -> weight 1 each). Estimated dataset mass:
+  // 900 light + 10 dense = 910; dense fraction 10/910.
+  std::vector<double> probs;
+  std::vector<double> densities;
+  for (int i = 0; i < 90; ++i) {
+    probs.push_back(0.1);
+    densities.push_back(1.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    probs.push_back(1.0);
+    densities.push_back(10.0);
+  }
+  BiasedSample sample = MakeSample(probs, densities);
+  EXPECT_NEAR(EstimatedClusterMassFraction(sample, 5.0), 10.0 / 910.0,
+              1e-12);
+  EXPECT_EQ(EstimatedClusterMassFraction(sample, 100.0), 0.0);
+  EXPECT_EQ(EstimatedClusterMassFraction(sample, 0.5), 1.0);
+}
+
+TEST(SampleQualityIntegrationTest, RealPipelineDiagnostics) {
+  // Clustered data: ~2/3 of the mass sits in dense boxes. The diagnostics
+  // from an a=1 sample must (a) estimate that mass fraction, (b) report a
+  // reasonable effective sample size.
+  Rng rng(3);
+  PointSet ps(2);
+  for (int i = 0; i < 20000; ++i) {  // dense block, density 500k/unit^2
+    ps.Append(std::vector<double>{rng.NextDouble(0.1, 0.3),
+                                  rng.NextDouble(0.1, 0.3)});
+  }
+  for (int i = 0; i < 10000; ++i) {  // background, density ~10k
+    ps.Append(std::vector<double>{rng.NextDouble(), rng.NextDouble()});
+  }
+  density::KdeOptions kde_opts;
+  kde_opts.num_kernels = 400;
+  kde_opts.bandwidth_scale = 0.3;
+  auto kde = density::Kde::Fit(ps, kde_opts);
+  ASSERT_TRUE(kde.ok());
+  core::BiasedSamplerOptions opts;
+  opts.a = 1.0;
+  opts.target_size = 1500;
+  auto sample = core::BiasedSampler(opts).Run(ps, *kde);
+  ASSERT_TRUE(sample.ok());
+
+  // (a) mass denser than 2x average: the dense block holds ~2/3 + the
+  // noise that overlaps it.
+  double fraction =
+      EstimatedClusterMassFraction(*sample, 2.0 * kde->AverageDensity());
+  EXPECT_GT(fraction, 0.5);
+  EXPECT_LT(fraction, 0.85);
+
+  // (b) effective size: positive, at most the actual size, and not
+  // degenerate (the two-tier density keeps weights within ~50x).
+  double n_eff = EffectiveSampleSize(*sample);
+  EXPECT_GT(n_eff, sample->size() / 20.0);
+  EXPECT_LE(n_eff, static_cast<double>(sample->size()) * 1.0001);
+
+  // (c) decile shares: unweighted shares sum to 1, weighted shares sum to
+  // 1 and put more mass on the low-density deciles than the unweighted.
+  DecileShares shares = DensityDecileShares(*sample);
+  double unweighted_sum = 0;
+  double weighted_sum = 0;
+  for (int d = 0; d < 10; ++d) {
+    unweighted_sum += shares.unweighted_share[d];
+    weighted_sum += shares.weighted_share[d];
+  }
+  EXPECT_NEAR(unweighted_sum, 1.0, 1e-9);
+  EXPECT_NEAR(weighted_sum, 1.0, 1e-9);
+  EXPECT_GT(shares.weighted_share[0], shares.unweighted_share[0]);
+}
+
+}  // namespace
+}  // namespace dbs::eval

@@ -1,0 +1,175 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/birch.h"
+#include "cluster/clustering.h"
+#include "eval/cluster_match.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+#include "synth/cluster_spec.h"
+
+namespace dbs::eval {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusteringResult;
+using data::PointSet;
+using synth::GroundTruth;
+using synth::Region;
+
+GroundTruth TwoBoxTruth() {
+  GroundTruth truth;
+  truth.regions.push_back(Region::Box({0.0, 0.0}, {0.4, 0.4}));
+  truth.regions.push_back(Region::Box({0.6, 0.6}, {1.0, 1.0}));
+  return truth;
+}
+
+Cluster ClusterWithReps(std::vector<double> flat) {
+  Cluster c;
+  c.representatives = PointSet(2);
+  for (size_t i = 0; i + 1 < flat.size(); i += 2) {
+    c.representatives.Append(std::vector<double>{flat[i], flat[i + 1]});
+  }
+  return c;
+}
+
+TEST(MatchClustersTest, AllRepsInsideCountsAsFound) {
+  GroundTruth truth = TwoBoxTruth();
+  ClusteringResult result;
+  result.clusters.push_back(
+      ClusterWithReps({0.1, 0.1, 0.2, 0.2, 0.3, 0.3}));
+  MatchResult match = MatchClusters(result, truth);
+  EXPECT_EQ(match.num_found(), 1);
+  EXPECT_TRUE(match.found[0]);
+  EXPECT_FALSE(match.found[1]);
+}
+
+TEST(MatchClustersTest, NinetyPercentRuleExactBoundary) {
+  GroundTruth truth = TwoBoxTruth();
+  // 9 of 10 reps inside region 0 -> found (>= 0.9); 8 of 10 -> not found.
+  std::vector<double> nine_in;
+  for (int i = 0; i < 9; ++i) {
+    nine_in.push_back(0.2);
+    nine_in.push_back(0.2);
+  }
+  nine_in.push_back(0.5);  // outside both regions
+  nine_in.push_back(0.5);
+  ClusteringResult ok_result;
+  ok_result.clusters.push_back(ClusterWithReps(nine_in));
+  EXPECT_EQ(MatchClusters(ok_result, truth).num_found(), 1);
+
+  std::vector<double> eight_in;
+  for (int i = 0; i < 8; ++i) {
+    eight_in.push_back(0.2);
+    eight_in.push_back(0.2);
+  }
+  for (int i = 0; i < 2; ++i) {
+    eight_in.push_back(0.5);
+    eight_in.push_back(0.5);
+  }
+  ClusteringResult bad_result;
+  bad_result.clusters.push_back(ClusterWithReps(eight_in));
+  EXPECT_EQ(MatchClusters(bad_result, truth).num_found(), 0);
+}
+
+TEST(MatchClustersTest, SplitClustersStillCountOnce) {
+  // Two found clusters both matching region 0: region counted once.
+  GroundTruth truth = TwoBoxTruth();
+  ClusteringResult result;
+  result.clusters.push_back(ClusterWithReps({0.1, 0.1, 0.15, 0.15}));
+  result.clusters.push_back(ClusterWithReps({0.3, 0.3, 0.35, 0.35}));
+  MatchResult match = MatchClusters(result, truth);
+  EXPECT_EQ(match.num_found(), 1);
+}
+
+TEST(MatchClustersTest, MergedClusterMatchesNothing) {
+  // Reps spread over both regions: neither reaches 90%.
+  GroundTruth truth = TwoBoxTruth();
+  ClusteringResult result;
+  result.clusters.push_back(
+      ClusterWithReps({0.1, 0.1, 0.2, 0.2, 0.8, 0.8, 0.9, 0.9}));
+  MatchResult match = MatchClusters(result, truth);
+  EXPECT_EQ(match.num_found(), 0);
+}
+
+TEST(MatchClustersTest, EmptyRepresentativesIgnored) {
+  GroundTruth truth = TwoBoxTruth();
+  ClusteringResult result;
+  result.clusters.emplace_back();  // no reps
+  EXPECT_EQ(MatchClusters(result, truth).num_found(), 0);
+}
+
+TEST(MatchClustersTest, InteriorMarginApplies) {
+  GroundTruth truth = TwoBoxTruth();
+  ClusteringResult result;
+  // Reps hug the region-0 boundary.
+  result.clusters.push_back(ClusterWithReps({0.01, 0.01, 0.02, 0.02}));
+  MatchOptions strict;
+  strict.interior_margin = 0.1;
+  EXPECT_EQ(MatchClusters(result, truth, strict).num_found(), 0);
+  EXPECT_EQ(MatchClusters(result, truth).num_found(), 1);
+}
+
+TEST(MatchBirchTest, CenterInsideRegionCounts) {
+  GroundTruth truth = TwoBoxTruth();
+  cluster::BirchResult result;
+  cluster::BirchCluster a;
+  a.center = {0.2, 0.2};
+  cluster::BirchCluster b;
+  b.center = {0.5, 0.5};  // between the regions
+  cluster::BirchCluster c;
+  c.center = {0.8, 0.8};
+  result.clusters = {a, b, c};
+  MatchResult match = MatchBirchClusters(result, truth);
+  EXPECT_EQ(match.num_found(), 2);
+  EXPECT_TRUE(match.found[0]);
+  EXPECT_TRUE(match.found[1]);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
+  double secs = timer.ElapsedSeconds();
+  EXPECT_GT(secs, 0.0);
+  // Milliseconds are the same clock scaled by 1000 (allow for the time
+  // between the two reads).
+  EXPECT_GE(timer.ElapsedMillis(), secs * 1000.0);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), secs + 1.0);
+}
+
+TEST(RunTrialsTest, AggregatesSeeds) {
+  OnlineMoments m = RunTrials(5, [](uint64_t seed) {
+    return static_cast<double>(seed);
+  });
+  EXPECT_EQ(m.count(), 5);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+}
+
+TEST(TableTest, AlignedOutput) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"bb", "23456"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| bb    | 23456 |"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Int(-42), "-42");
+}
+
+}  // namespace
+}  // namespace dbs::eval

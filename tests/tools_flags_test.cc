@@ -1,0 +1,60 @@
+#include "tools/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dbs::tools {
+namespace {
+
+char** MakeArgv(std::vector<std::string>& storage) {
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (std::string& s : storage) ptrs.push_back(s.data());
+  return ptrs.data();
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  std::vector<std::string> args{"prog", "in=a.dbsf", "size=200", "a=-0.5"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(4, MakeArgv(args)));
+  EXPECT_EQ(flags.GetString("in", ""), "a.dbsf");
+  EXPECT_EQ(flags.GetInt("size", 0), 200);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("a", 0), -0.5);
+  EXPECT_TRUE(flags.AllKnown());
+}
+
+TEST(FlagsTest, FallbacksApply) {
+  std::vector<std::string> args{"prog"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(1, MakeArgv(args)));
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(flags.GetInt("missing2", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing3", 2.5), 2.5);
+}
+
+TEST(FlagsTest, RejectsMalformedArguments) {
+  std::vector<std::string> bare{"prog", "novalue"};
+  Flags a;
+  EXPECT_FALSE(a.Parse(2, MakeArgv(bare)));
+
+  std::vector<std::string> empty_key{"prog", "=value"};
+  Flags b;
+  EXPECT_FALSE(b.Parse(2, MakeArgv(empty_key)));
+}
+
+TEST(FlagsTest, DetectsUnknownFlags) {
+  std::vector<std::string> args{"prog", "in=x", "typo=1"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(3, MakeArgv(args)));
+  EXPECT_EQ(flags.GetString("in", ""), "x");
+  EXPECT_FALSE(flags.AllKnown());  // "typo" never consumed
+}
+
+TEST(FlagsTest, ValueMayContainEquals) {
+  std::vector<std::string> args{"prog", "expr=a=b"};
+  Flags flags;
+  ASSERT_TRUE(flags.Parse(2, MakeArgv(args)));
+  EXPECT_EQ(flags.GetString("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace dbs::tools

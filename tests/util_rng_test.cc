@@ -1,0 +1,189 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace dbs {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextDouble(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, NextBoundedIsUnbiased) {
+  Rng rng(11);
+  const uint64_t bound = 7;
+  const int trials = 70000;
+  std::vector<double> observed(bound, 0.0);
+  for (int i = 0; i < trials; ++i) {
+    uint64_t v = rng.NextBounded(bound);
+    ASSERT_LT(v, bound);
+    observed[v] += 1.0;
+  }
+  std::vector<double> expected(bound, trials / static_cast<double>(bound));
+  double stat = ChiSquareStatistic(observed, expected);
+  EXPECT_LT(stat, ChiSquareCritical999(static_cast<int>(bound) - 1));
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(13);
+  OnlineMoments m;
+  for (int i = 0; i < 200000; ++i) m.Add(rng.NextGaussian());
+  EXPECT_NEAR(m.mean(), 0.0, 0.02);
+  EXPECT_NEAR(m.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianMeanStddevParameters) {
+  Rng rng(17);
+  OnlineMoments m;
+  for (int i = 0; i < 100000; ++i) m.Add(rng.NextGaussian(5.0, 2.0));
+  EXPECT_NEAR(m.mean(), 5.0, 0.05);
+  EXPECT_NEAR(m.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(21);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_FALSE(rng.NextBernoulli(-1.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_TRUE(rng.NextBernoulli(2.0));
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  OnlineMoments m;
+  for (int i = 0; i < 100000; ++i) m.Add(rng.NextExponential(2.0));
+  EXPECT_NEAR(m.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, UnitBallPointsInside) {
+  Rng rng(29);
+  for (int dim : {1, 2, 3, 5, 12}) {
+    std::vector<double> p(dim);
+    for (int i = 0; i < 1000; ++i) {
+      rng.NextInUnitBall(dim, p.data());
+      double norm2 = 0.0;
+      for (double c : p) norm2 += c * c;
+      EXPECT_LE(norm2, 1.0 + 1e-12) << "dim=" << dim;
+    }
+  }
+}
+
+TEST(RngTest, UnitBallIsCentered) {
+  Rng rng(31);
+  const int dim = 3;
+  std::vector<OnlineMoments> m(dim);
+  std::vector<double> p(dim);
+  for (int i = 0; i < 50000; ++i) {
+    rng.NextInUnitBall(dim, p.data());
+    for (int j = 0; j < dim; ++j) m[j].Add(p[j]);
+  }
+  for (int j = 0; j < dim; ++j) EXPECT_NEAR(m[j].mean(), 0.0, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng parent(42);
+  Rng a = parent.Fork(0);
+  Rng b = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng p1(42);
+  Rng p2(42);
+  Rng a = p1.Fork(5);
+  Rng b = p2.Fork(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, ForkDoesNotAdvanceParent) {
+  Rng a(42);
+  Rng b(42);
+  (void)a.Fork(0);
+  (void)a.Fork(1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> sa(v.begin(), v.end());
+  std::multiset<int> sb(orig.begin(), orig.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(RngTest, ShuffleIsUniformOverSmallPermutations) {
+  // 3! = 6 permutations; chi-square over many shuffles.
+  Rng rng(41);
+  std::map<std::vector<int>, int> counts;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<int> v{0, 1, 2};
+    rng.Shuffle(v);
+    counts[v]++;
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  std::vector<double> observed;
+  std::vector<double> expected;
+  for (const auto& [perm, c] : counts) {
+    observed.push_back(c);
+    expected.push_back(trials / 6.0);
+  }
+  EXPECT_LT(ChiSquareStatistic(observed, expected), ChiSquareCritical999(5));
+}
+
+}  // namespace
+}  // namespace dbs

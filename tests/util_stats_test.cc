@@ -1,0 +1,133 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace dbs {
+namespace {
+
+TEST(OnlineMomentsTest, EmptyAccumulator) {
+  OnlineMoments m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance(), 0.0);
+  EXPECT_EQ(m.sample_variance(), 0.0);
+}
+
+TEST(OnlineMomentsTest, SingleValue) {
+  OnlineMoments m;
+  m.Add(5.0);
+  EXPECT_EQ(m.count(), 1);
+  EXPECT_EQ(m.mean(), 5.0);
+  EXPECT_EQ(m.variance(), 0.0);
+  EXPECT_EQ(m.sample_variance(), 0.0);
+  EXPECT_EQ(m.min(), 5.0);
+  EXPECT_EQ(m.max(), 5.0);
+}
+
+TEST(OnlineMomentsTest, KnownValues) {
+  OnlineMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(x);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 4.0);
+  EXPECT_NEAR(m.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(m.min(), 2.0);
+  EXPECT_EQ(m.max(), 9.0);
+}
+
+TEST(OnlineMomentsTest, MergeMatchesSinglePass) {
+  Rng rng(5);
+  OnlineMoments whole;
+  OnlineMoments a;
+  OnlineMoments b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextGaussian(3.0, 2.0);
+    whole.Add(x);
+    (i < 400 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineMomentsTest, MergeWithEmpty) {
+  OnlineMoments a;
+  a.Add(1.0);
+  a.Add(3.0);
+  OnlineMoments empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  OnlineMoments c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 2);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(OnlineMomentsTest, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares would lose all precision here.
+  OnlineMoments m;
+  const double offset = 1e9;
+  for (double x : {offset + 1, offset + 2, offset + 3}) m.Add(x);
+  EXPECT_NEAR(m.sample_variance(), 1.0, 1e-6);
+}
+
+TEST(StatsFreeFunctionsTest, MeanAndStddev) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(SampleStddev({1.0}), 0.0);
+  EXPECT_NEAR(SampleStddev({1.0, 2.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 25.0);
+}
+
+TEST(ChiSquareTest, ZeroForPerfectFit) {
+  std::vector<double> obs{10, 20, 30};
+  EXPECT_EQ(ChiSquareStatistic(obs, obs), 0.0);
+}
+
+TEST(ChiSquareTest, KnownStatistic) {
+  std::vector<double> obs{12, 8};
+  std::vector<double> exp{10, 10};
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(obs, exp), 0.8);
+}
+
+TEST(ChiSquareTest, SkipsZeroExpectedBuckets) {
+  std::vector<double> obs{12, 5};
+  std::vector<double> exp{10, 0};
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(obs, exp), 0.4);
+}
+
+TEST(ChiSquareTest, CriticalValuesAreSane) {
+  // Reference chi-square 0.999 quantiles: dof=1 -> 10.83, dof=5 -> 20.52,
+  // dof=10 -> 29.59. The Wilson-Hilferty approximation is good to ~2%.
+  EXPECT_NEAR(ChiSquareCritical999(1), 10.83, 0.6);
+  EXPECT_NEAR(ChiSquareCritical999(5), 20.52, 0.5);
+  EXPECT_NEAR(ChiSquareCritical999(10), 29.59, 0.5);
+  // Monotone in dof.
+  for (int dof = 2; dof < 50; ++dof) {
+    EXPECT_GT(ChiSquareCritical999(dof), ChiSquareCritical999(dof - 1));
+  }
+}
+
+}  // namespace
+}  // namespace dbs

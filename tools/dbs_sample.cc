@@ -1,0 +1,150 @@
+// dbs_sample — density-biased (or uniform) sampling of a .dbsf file.
+//
+//   dbs_sample in=data.dbsf out=sample.dbsf [a=1.0] [size=2000]
+//              [kernels=1000] [bandwidth_scale=1.0] [mode=twopass|onepass|
+//              stream|uniform] [seed=1]
+//
+// Streams the input (never materializes it), writes the sampled points to
+// `out`, and prints the sample statistics: size, normalizer, clamped count
+// and the Horvitz-Thompson estimate of the input size.
+
+#include <cstdio>
+#include <string>
+
+#include "core/biased_sampler.h"
+#include "core/streaming_sampler.h"
+#include "data/dataset_io.h"
+#include "density/kde.h"
+#include "density/kde_io.h"
+#include "sampling/uniform_sampler.h"
+#include "tools/flags.h"
+
+int main(int argc, char** argv) {
+  dbs::tools::Flags flags;
+  if (!flags.Parse(argc, argv)) return 2;
+  std::string in = flags.GetString("in", "");
+  std::string out = flags.GetString("out", "");
+  double a = flags.GetDouble("a", 1.0);
+  int64_t size = flags.GetInt("size", 2000);
+  int64_t kernels = flags.GetInt("kernels", 1000);
+  double bandwidth_scale = flags.GetDouble("bandwidth_scale", 1.0);
+  std::string mode = flags.GetString("mode", "twopass");
+  // Reuse a saved estimator instead of fitting (mode twopass/onepass), or
+  // persist the fitted one for later runs.
+  std::string model_in = flags.GetString("model", "");
+  std::string model_out = flags.GetString("save_model", "");
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  if (!flags.AllKnown()) return 2;
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "usage: dbs_sample in=data.dbsf out=sample.dbsf [a=] "
+                 "[size=] [kernels=] [bandwidth_scale=] "
+                 "[mode=twopass|onepass|stream|uniform] "
+                 "[model=est.dbsk] [save_model=est.dbsk] [seed=]\n");
+    return 2;
+  }
+
+  auto scan_result = dbs::data::FileScan::Open(in, /*batch_rows=*/8192);
+  if (!scan_result.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 scan_result.status().ToString().c_str());
+    return 1;
+  }
+  dbs::data::FileScan& scan = **scan_result;
+  std::printf("in: %s (%lld points, dim %d)\n", in.c_str(),
+              static_cast<long long>(scan.size()), scan.dim());
+
+  dbs::data::PointSet sampled_points(scan.dim());
+  double normalizer = 0;
+  int64_t clamped = 0;
+  double estimated_n = 0;
+
+  if (mode == "uniform") {
+    dbs::sampling::BernoulliSampleOptions opts;
+    opts.target_size = size;
+    opts.seed = seed;
+    auto sample = dbs::sampling::BernoulliSample(scan, opts);
+    if (!sample.ok()) {
+      std::fprintf(stderr, "sampling failed: %s\n",
+                   sample.status().ToString().c_str());
+      return 1;
+    }
+    sampled_points = std::move(sample).value();
+    estimated_n = static_cast<double>(scan.size());
+  } else if (mode == "stream") {
+    dbs::core::StreamingSamplerOptions opts;
+    opts.a = a;
+    opts.target_size = size;
+    opts.num_kernels = kernels;
+    opts.bandwidth_scale = bandwidth_scale;
+    opts.seed = seed;
+    auto sample = dbs::core::StreamingBiasedSample(scan, opts);
+    if (!sample.ok()) {
+      std::fprintf(stderr, "sampling failed: %s\n",
+                   sample.status().ToString().c_str());
+      return 1;
+    }
+    normalizer = sample->normalizer;
+    clamped = sample->clamped_count;
+    estimated_n = sample->EstimatedDatasetSize();
+    sampled_points = std::move(sample->points);
+  } else if (mode == "twopass" || mode == "onepass") {
+    dbs::Result<dbs::density::Kde> kde =
+        dbs::Status::InvalidArgument("unset");
+    if (!model_in.empty()) {
+      kde = dbs::density::LoadKde(model_in);
+    } else {
+      dbs::density::KdeOptions kde_opts;
+      kde_opts.num_kernels = kernels;
+      kde_opts.bandwidth_scale = bandwidth_scale;
+      kde_opts.seed = seed;
+      kde = dbs::density::Kde::Fit(scan, kde_opts);
+    }
+    if (!kde.ok()) {
+      std::fprintf(stderr, "kde failed: %s\n",
+                   kde.status().ToString().c_str());
+      return 1;
+    }
+    if (!model_out.empty()) {
+      dbs::Status saved = dbs::density::SaveKde(*kde, model_out);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "model save failed: %s\n",
+                     saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("model: saved estimator to %s\n", model_out.c_str());
+    }
+    dbs::core::BiasedSamplerOptions opts;
+    opts.a = a;
+    opts.target_size = size;
+    opts.seed = seed;
+    dbs::core::BiasedSampler sampler(opts);
+    auto sample = mode == "twopass" ? sampler.Run(scan, *kde)
+                                    : sampler.RunOnePass(scan, *kde);
+    if (!sample.ok()) {
+      std::fprintf(stderr, "sampling failed: %s\n",
+                   sample.status().ToString().c_str());
+      return 1;
+    }
+    normalizer = sample->normalizer;
+    clamped = sample->clamped_count;
+    estimated_n = sample->EstimatedDatasetSize();
+    sampled_points = std::move(sample->points);
+  } else {
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+
+  dbs::Status status = dbs::data::WriteDatasetFile(out, sampled_points);
+  if (!status.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "out: %s (%lld points) mode=%s a=%.3g passes=%d\n"
+      "normalizer=%.6g clamped=%lld estimated-input-size=%.0f\n",
+      out.c_str(), static_cast<long long>(sampled_points.size()),
+      mode.c_str(), a, scan.passes(), normalizer,
+      static_cast<long long>(clamped) * 1LL, estimated_n);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Minimal key=value flag parsing shared by the CLI tools.
+//
+// Usage: dbs_sample in=data.dbsf out=sample.dbsf a=1.0 size=2000
+// Unknown keys are rejected so typos fail loudly.
+
+#ifndef DBS_TOOLS_FLAGS_H_
+#define DBS_TOOLS_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace dbs::tools {
+
+class Flags {
+ public:
+  // Parses argv entries of the form key=value. Returns false (after
+  // printing the offending argument) on anything else.
+  bool Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "expected key=value, got '%s'\n", arg.c_str());
+        return false;
+      }
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+    return true;
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) {
+    consumed_.insert({key, true});
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) {
+    consumed_.insert({key, true});
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) {
+    consumed_.insert({key, true});
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  // True when every provided key was consumed by a Get*; prints strays.
+  bool AllKnown() const {
+    bool ok = true;
+    for (const auto& [key, value] : values_) {
+      if (!consumed_.count(key)) {
+        std::fprintf(stderr, "unknown flag '%s'\n", key.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+};
+
+}  // namespace dbs::tools
+
+#endif  // DBS_TOOLS_FLAGS_H_
