@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classification_extension.dir/classification_extension.cc.o"
+  "CMakeFiles/classification_extension.dir/classification_extension.cc.o.d"
+  "classification_extension"
+  "classification_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classification_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cure_dataset.dir/fig3_cure_dataset.cc.o"
+  "CMakeFiles/fig3_cure_dataset.dir/fig3_cure_dataset.cc.o.d"
+  "fig3_cure_dataset"
+  "fig3_cure_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cure_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_variable_density.dir/fig5_variable_density.cc.o"
+  "CMakeFiles/fig5_variable_density.dir/fig5_variable_density.cc.o.d"
+  "fig5_variable_density"
+  "fig5_variable_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_variable_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_noise3d.dir/fig6_noise3d.cc.o"
+  "CMakeFiles/fig6_noise3d.dir/fig6_noise3d.cc.o.d"
+  "fig6_noise3d"
+  "fig6_noise3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_noise3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

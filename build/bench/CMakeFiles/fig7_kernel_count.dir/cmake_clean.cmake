@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_kernel_count.dir/fig7_kernel_count.cc.o"
+  "CMakeFiles/fig7_kernel_count.dir/fig7_kernel_count.cc.o.d"
+  "fig7_kernel_count"
+  "fig7_kernel_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_kernel_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

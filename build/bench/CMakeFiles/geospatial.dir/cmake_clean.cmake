@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geospatial.dir/geospatial.cc.o"
+  "CMakeFiles/geospatial.dir/geospatial.cc.o.d"
+  "geospatial"
+  "geospatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geospatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kde.dir/micro_kde.cc.o"
+  "CMakeFiles/micro_kde.dir/micro_kde.cc.o.d"
+  "micro_kde"
+  "micro_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

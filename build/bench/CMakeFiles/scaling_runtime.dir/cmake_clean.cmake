@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_runtime.dir/scaling_runtime.cc.o"
+  "CMakeFiles/scaling_runtime.dir/scaling_runtime.cc.o.d"
+  "scaling_runtime"
+  "scaling_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_theorem1.dir/table_theorem1.cc.o"
+  "CMakeFiles/table_theorem1.dir/table_theorem1.cc.o.d"
+  "table_theorem1"
+  "table_theorem1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_theorem1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

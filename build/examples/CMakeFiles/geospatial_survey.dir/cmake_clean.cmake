@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geospatial_survey.dir/geospatial_survey.cpp.o"
+  "CMakeFiles/geospatial_survey.dir/geospatial_survey.cpp.o.d"
+  "geospatial_survey"
+  "geospatial_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geospatial_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

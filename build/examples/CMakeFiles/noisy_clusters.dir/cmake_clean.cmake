@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_clusters.dir/noisy_clusters.cpp.o"
+  "CMakeFiles/noisy_clusters.dir/noisy_clusters.cpp.o.d"
+  "noisy_clusters"
+  "noisy_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_hunt.dir/outlier_hunt.cpp.o"
+  "CMakeFiles/outlier_hunt.dir/outlier_hunt.cpp.o.d"
+  "outlier_hunt"
+  "outlier_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

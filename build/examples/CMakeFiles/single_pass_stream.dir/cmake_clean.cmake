@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_pass_stream.dir/single_pass_stream.cpp.o"
+  "CMakeFiles/single_pass_stream.dir/single_pass_stream.cpp.o.d"
+  "single_pass_stream"
+  "single_pass_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_pass_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_classify.dir/classify/decision_tree.cc.o"
+  "CMakeFiles/dbs_classify.dir/classify/decision_tree.cc.o.d"
+  "libdbs_classify.a"
+  "libdbs_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/birch.cc" "src/CMakeFiles/dbs_cluster.dir/cluster/birch.cc.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/birch.cc.o.d"
+  "/root/repo/src/cluster/cf_tree.cc" "src/CMakeFiles/dbs_cluster.dir/cluster/cf_tree.cc.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/cf_tree.cc.o.d"
+  "/root/repo/src/cluster/clustering.cc" "src/CMakeFiles/dbs_cluster.dir/cluster/clustering.cc.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/clustering.cc.o.d"
+  "/root/repo/src/cluster/dbscan.cc" "src/CMakeFiles/dbs_cluster.dir/cluster/dbscan.cc.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/dbscan.cc.o.d"
+  "/root/repo/src/cluster/hierarchical.cc" "src/CMakeFiles/dbs_cluster.dir/cluster/hierarchical.cc.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/hierarchical.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/dbs_cluster.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/kmedoids.cc" "src/CMakeFiles/dbs_cluster.dir/cluster/kmedoids.cc.o" "gcc" "src/CMakeFiles/dbs_cluster.dir/cluster/kmedoids.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

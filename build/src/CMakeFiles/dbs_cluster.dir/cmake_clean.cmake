@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_cluster.dir/cluster/birch.cc.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/birch.cc.o.d"
+  "CMakeFiles/dbs_cluster.dir/cluster/cf_tree.cc.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/cf_tree.cc.o.d"
+  "CMakeFiles/dbs_cluster.dir/cluster/clustering.cc.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/clustering.cc.o.d"
+  "CMakeFiles/dbs_cluster.dir/cluster/dbscan.cc.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/dbscan.cc.o.d"
+  "CMakeFiles/dbs_cluster.dir/cluster/hierarchical.cc.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/hierarchical.cc.o.d"
+  "CMakeFiles/dbs_cluster.dir/cluster/kmeans.cc.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/kmeans.cc.o.d"
+  "CMakeFiles/dbs_cluster.dir/cluster/kmedoids.cc.o"
+  "CMakeFiles/dbs_cluster.dir/cluster/kmedoids.cc.o.d"
+  "libdbs_cluster.a"
+  "libdbs_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

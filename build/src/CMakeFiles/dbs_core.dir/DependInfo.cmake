@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/biased_sampler.cc" "src/CMakeFiles/dbs_core.dir/core/biased_sampler.cc.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/biased_sampler.cc.o.d"
+  "/root/repo/src/core/grid_biased_sampler.cc" "src/CMakeFiles/dbs_core.dir/core/grid_biased_sampler.cc.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/grid_biased_sampler.cc.o.d"
+  "/root/repo/src/core/guarantees.cc" "src/CMakeFiles/dbs_core.dir/core/guarantees.cc.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/guarantees.cc.o.d"
+  "/root/repo/src/core/sample.cc" "src/CMakeFiles/dbs_core.dir/core/sample.cc.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/sample.cc.o.d"
+  "/root/repo/src/core/streaming_sampler.cc" "src/CMakeFiles/dbs_core.dir/core/streaming_sampler.cc.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/streaming_sampler.cc.o.d"
+  "/root/repo/src/core/tuning.cc" "src/CMakeFiles/dbs_core.dir/core/tuning.cc.o" "gcc" "src/CMakeFiles/dbs_core.dir/core/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_core.dir/core/biased_sampler.cc.o"
+  "CMakeFiles/dbs_core.dir/core/biased_sampler.cc.o.d"
+  "CMakeFiles/dbs_core.dir/core/grid_biased_sampler.cc.o"
+  "CMakeFiles/dbs_core.dir/core/grid_biased_sampler.cc.o.d"
+  "CMakeFiles/dbs_core.dir/core/guarantees.cc.o"
+  "CMakeFiles/dbs_core.dir/core/guarantees.cc.o.d"
+  "CMakeFiles/dbs_core.dir/core/sample.cc.o"
+  "CMakeFiles/dbs_core.dir/core/sample.cc.o.d"
+  "CMakeFiles/dbs_core.dir/core/streaming_sampler.cc.o"
+  "CMakeFiles/dbs_core.dir/core/streaming_sampler.cc.o.d"
+  "CMakeFiles/dbs_core.dir/core/tuning.cc.o"
+  "CMakeFiles/dbs_core.dir/core/tuning.cc.o.d"
+  "libdbs_core.a"
+  "libdbs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

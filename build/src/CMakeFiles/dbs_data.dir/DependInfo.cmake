@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/bounds.cc" "src/CMakeFiles/dbs_data.dir/data/bounds.cc.o" "gcc" "src/CMakeFiles/dbs_data.dir/data/bounds.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/dbs_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/dbs_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/dbs_data.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/dbs_data.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/kd_tree.cc" "src/CMakeFiles/dbs_data.dir/data/kd_tree.cc.o" "gcc" "src/CMakeFiles/dbs_data.dir/data/kd_tree.cc.o.d"
+  "/root/repo/src/data/point_set.cc" "src/CMakeFiles/dbs_data.dir/data/point_set.cc.o" "gcc" "src/CMakeFiles/dbs_data.dir/data/point_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_data.dir/data/bounds.cc.o"
+  "CMakeFiles/dbs_data.dir/data/bounds.cc.o.d"
+  "CMakeFiles/dbs_data.dir/data/dataset.cc.o"
+  "CMakeFiles/dbs_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/dbs_data.dir/data/dataset_io.cc.o"
+  "CMakeFiles/dbs_data.dir/data/dataset_io.cc.o.d"
+  "CMakeFiles/dbs_data.dir/data/kd_tree.cc.o"
+  "CMakeFiles/dbs_data.dir/data/kd_tree.cc.o.d"
+  "CMakeFiles/dbs_data.dir/data/point_set.cc.o"
+  "CMakeFiles/dbs_data.dir/data/point_set.cc.o.d"
+  "libdbs_data.a"
+  "libdbs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

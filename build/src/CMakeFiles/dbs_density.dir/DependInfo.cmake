@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/density/bandwidth.cc" "src/CMakeFiles/dbs_density.dir/density/bandwidth.cc.o" "gcc" "src/CMakeFiles/dbs_density.dir/density/bandwidth.cc.o.d"
+  "/root/repo/src/density/grid_density.cc" "src/CMakeFiles/dbs_density.dir/density/grid_density.cc.o" "gcc" "src/CMakeFiles/dbs_density.dir/density/grid_density.cc.o.d"
+  "/root/repo/src/density/histogram_density.cc" "src/CMakeFiles/dbs_density.dir/density/histogram_density.cc.o" "gcc" "src/CMakeFiles/dbs_density.dir/density/histogram_density.cc.o.d"
+  "/root/repo/src/density/kde.cc" "src/CMakeFiles/dbs_density.dir/density/kde.cc.o" "gcc" "src/CMakeFiles/dbs_density.dir/density/kde.cc.o.d"
+  "/root/repo/src/density/kde_io.cc" "src/CMakeFiles/dbs_density.dir/density/kde_io.cc.o" "gcc" "src/CMakeFiles/dbs_density.dir/density/kde_io.cc.o.d"
+  "/root/repo/src/density/kernel.cc" "src/CMakeFiles/dbs_density.dir/density/kernel.cc.o" "gcc" "src/CMakeFiles/dbs_density.dir/density/kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_density.dir/density/bandwidth.cc.o"
+  "CMakeFiles/dbs_density.dir/density/bandwidth.cc.o.d"
+  "CMakeFiles/dbs_density.dir/density/grid_density.cc.o"
+  "CMakeFiles/dbs_density.dir/density/grid_density.cc.o.d"
+  "CMakeFiles/dbs_density.dir/density/histogram_density.cc.o"
+  "CMakeFiles/dbs_density.dir/density/histogram_density.cc.o.d"
+  "CMakeFiles/dbs_density.dir/density/kde.cc.o"
+  "CMakeFiles/dbs_density.dir/density/kde.cc.o.d"
+  "CMakeFiles/dbs_density.dir/density/kde_io.cc.o"
+  "CMakeFiles/dbs_density.dir/density/kde_io.cc.o.d"
+  "CMakeFiles/dbs_density.dir/density/kernel.cc.o"
+  "CMakeFiles/dbs_density.dir/density/kernel.cc.o.d"
+  "libdbs_density.a"
+  "libdbs_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

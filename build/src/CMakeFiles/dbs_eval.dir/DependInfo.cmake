@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/cluster_match.cc" "src/CMakeFiles/dbs_eval.dir/eval/cluster_match.cc.o" "gcc" "src/CMakeFiles/dbs_eval.dir/eval/cluster_match.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/dbs_eval.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/dbs_eval.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/CMakeFiles/dbs_eval.dir/eval/report.cc.o" "gcc" "src/CMakeFiles/dbs_eval.dir/eval/report.cc.o.d"
+  "/root/repo/src/eval/sample_quality.cc" "src/CMakeFiles/dbs_eval.dir/eval/sample_quality.cc.o" "gcc" "src/CMakeFiles/dbs_eval.dir/eval/sample_quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_outlier.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_eval.dir/eval/cluster_match.cc.o"
+  "CMakeFiles/dbs_eval.dir/eval/cluster_match.cc.o.d"
+  "CMakeFiles/dbs_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/dbs_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/dbs_eval.dir/eval/report.cc.o"
+  "CMakeFiles/dbs_eval.dir/eval/report.cc.o.d"
+  "CMakeFiles/dbs_eval.dir/eval/sample_quality.cc.o"
+  "CMakeFiles/dbs_eval.dir/eval/sample_quality.cc.o.d"
+  "libdbs_eval.a"
+  "libdbs_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_outlier.dir/outlier/ball_integration.cc.o"
+  "CMakeFiles/dbs_outlier.dir/outlier/ball_integration.cc.o.d"
+  "CMakeFiles/dbs_outlier.dir/outlier/exact_detector.cc.o"
+  "CMakeFiles/dbs_outlier.dir/outlier/exact_detector.cc.o.d"
+  "CMakeFiles/dbs_outlier.dir/outlier/kde_detector.cc.o"
+  "CMakeFiles/dbs_outlier.dir/outlier/kde_detector.cc.o.d"
+  "libdbs_outlier.a"
+  "libdbs_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_sampling.dir/sampling/reservoir_sampler.cc.o"
+  "CMakeFiles/dbs_sampling.dir/sampling/reservoir_sampler.cc.o.d"
+  "CMakeFiles/dbs_sampling.dir/sampling/uniform_sampler.cc.o"
+  "CMakeFiles/dbs_sampling.dir/sampling/uniform_sampler.cc.o.d"
+  "libdbs_sampling.a"
+  "libdbs_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/cluster_spec.cc" "src/CMakeFiles/dbs_synth.dir/synth/cluster_spec.cc.o" "gcc" "src/CMakeFiles/dbs_synth.dir/synth/cluster_spec.cc.o.d"
+  "/root/repo/src/synth/cure_dataset.cc" "src/CMakeFiles/dbs_synth.dir/synth/cure_dataset.cc.o" "gcc" "src/CMakeFiles/dbs_synth.dir/synth/cure_dataset.cc.o.d"
+  "/root/repo/src/synth/generator.cc" "src/CMakeFiles/dbs_synth.dir/synth/generator.cc.o" "gcc" "src/CMakeFiles/dbs_synth.dir/synth/generator.cc.o.d"
+  "/root/repo/src/synth/geo.cc" "src/CMakeFiles/dbs_synth.dir/synth/geo.cc.o" "gcc" "src/CMakeFiles/dbs_synth.dir/synth/geo.cc.o.d"
+  "/root/repo/src/synth/outlier_planting.cc" "src/CMakeFiles/dbs_synth.dir/synth/outlier_planting.cc.o" "gcc" "src/CMakeFiles/dbs_synth.dir/synth/outlier_planting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

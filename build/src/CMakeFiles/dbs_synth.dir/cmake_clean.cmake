@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_synth.dir/synth/cluster_spec.cc.o"
+  "CMakeFiles/dbs_synth.dir/synth/cluster_spec.cc.o.d"
+  "CMakeFiles/dbs_synth.dir/synth/cure_dataset.cc.o"
+  "CMakeFiles/dbs_synth.dir/synth/cure_dataset.cc.o.d"
+  "CMakeFiles/dbs_synth.dir/synth/generator.cc.o"
+  "CMakeFiles/dbs_synth.dir/synth/generator.cc.o.d"
+  "CMakeFiles/dbs_synth.dir/synth/geo.cc.o"
+  "CMakeFiles/dbs_synth.dir/synth/geo.cc.o.d"
+  "CMakeFiles/dbs_synth.dir/synth/outlier_planting.cc.o"
+  "CMakeFiles/dbs_synth.dir/synth/outlier_planting.cc.o.d"
+  "libdbs_synth.a"
+  "libdbs_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

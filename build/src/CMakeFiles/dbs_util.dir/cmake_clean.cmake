@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_util.dir/util/math.cc.o"
+  "CMakeFiles/dbs_util.dir/util/math.cc.o.d"
+  "CMakeFiles/dbs_util.dir/util/rng.cc.o"
+  "CMakeFiles/dbs_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/dbs_util.dir/util/stats.cc.o"
+  "CMakeFiles/dbs_util.dir/util/stats.cc.o.d"
+  "libdbs_util.a"
+  "libdbs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_hierarchical_test.dir/cluster_hierarchical_test.cc.o"
+  "CMakeFiles/cluster_hierarchical_test.dir/cluster_hierarchical_test.cc.o.d"
+  "cluster_hierarchical_test"
+  "cluster_hierarchical_test.pdb"
+  "cluster_hierarchical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_hierarchical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_biased_sampler_test.dir/core_biased_sampler_test.cc.o"
+  "CMakeFiles/core_biased_sampler_test.dir/core_biased_sampler_test.cc.o.d"
+  "core_biased_sampler_test"
+  "core_biased_sampler_test.pdb"
+  "core_biased_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_biased_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

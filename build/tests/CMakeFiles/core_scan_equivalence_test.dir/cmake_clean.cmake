@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scan_equivalence_test.dir/core_scan_equivalence_test.cc.o"
+  "CMakeFiles/core_scan_equivalence_test.dir/core_scan_equivalence_test.cc.o.d"
+  "core_scan_equivalence_test"
+  "core_scan_equivalence_test.pdb"
+  "core_scan_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scan_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_bounds_test.dir/data_bounds_test.cc.o"
+  "CMakeFiles/data_bounds_test.dir/data_bounds_test.cc.o.d"
+  "data_bounds_test"
+  "data_bounds_test.pdb"
+  "data_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_distance_test.dir/data_distance_test.cc.o"
+  "CMakeFiles/data_distance_test.dir/data_distance_test.cc.o.d"
+  "data_distance_test"
+  "data_distance_test.pdb"
+  "data_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_kd_tree_test.dir/data_kd_tree_test.cc.o"
+  "CMakeFiles/data_kd_tree_test.dir/data_kd_tree_test.cc.o.d"
+  "data_kd_tree_test"
+  "data_kd_tree_test.pdb"
+  "data_kd_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_kd_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_point_set_test.dir/data_point_set_test.cc.o"
+  "CMakeFiles/data_point_set_test.dir/data_point_set_test.cc.o.d"
+  "data_point_set_test"
+  "data_point_set_test.pdb"
+  "data_point_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_point_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_grid_test.dir/density_grid_test.cc.o"
+  "CMakeFiles/density_grid_test.dir/density_grid_test.cc.o.d"
+  "density_grid_test"
+  "density_grid_test.pdb"
+  "density_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_metric_test.dir/outlier_metric_test.cc.o"
+  "CMakeFiles/outlier_metric_test.dir/outlier_metric_test.cc.o.d"
+  "outlier_metric_test"
+  "outlier_metric_test.pdb"
+  "outlier_metric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_metric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_options_test.dir/synth_options_test.cc.o"
+  "CMakeFiles/synth_options_test.dir/synth_options_test.cc.o.d"
+  "synth_options_test"
+  "synth_options_test.pdb"
+  "synth_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

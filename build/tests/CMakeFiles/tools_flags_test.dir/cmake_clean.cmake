@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_flags_test.dir/tools_flags_test.cc.o"
+  "CMakeFiles/tools_flags_test.dir/tools_flags_test.cc.o.d"
+  "tools_flags_test"
+  "tools_flags_test.pdb"
+  "tools_flags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_flags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_gen.dir/dbs_gen.cc.o"
+  "CMakeFiles/dbs_gen.dir/dbs_gen.cc.o.d"
+  "dbs_gen"
+  "dbs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_outliers.dir/dbs_outliers.cc.o"
+  "CMakeFiles/dbs_outliers.dir/dbs_outliers.cc.o.d"
+  "dbs_outliers"
+  "dbs_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbs_sample.dir/dbs_sample.cc.o"
+  "CMakeFiles/dbs_sample.dir/dbs_sample.cc.o.d"
+  "dbs_sample"
+  "dbs_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbs_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

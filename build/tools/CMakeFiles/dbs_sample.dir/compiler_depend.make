@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbs_sample.
+# This may be replaced when dependencies are built.
