@@ -1,0 +1,214 @@
+// Serving throughput — requests/sec and latency percentiles of the dbsd
+// request path as the worker pool grows.
+//
+// For each worker count (default 1/2/4/8) the bench stands up the full
+// served stack — registry, batch executor, loopback TCP server — and
+// hammers it with concurrent clients issuing density batches, the
+// subsystem's bread-and-butter request. Reported per worker count:
+// requests/sec and client-observed p50/p99 latency. Output is a
+// human-readable table on stdout plus machine-readable JSON
+// (BENCH_serve_throughput.json, override with out=).
+//
+//   serve_throughput [clients=4] [batches=40] [points=2000] [kernels=64]
+//                    [workers=1,2,4,8] [out=BENCH_serve_throughput.json]
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "density/kde.h"
+#include "serve/batch_executor.h"
+#include "serve/client.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "synth/generator.h"
+#include "tools/flags.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkerResult {
+  int workers = 0;
+  int64_t requests = 0;
+  int64_t failed = 0;
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double points_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+dbs::data::PointSet MakeData(int64_t n, uint64_t seed) {
+  dbs::synth::ClusteredDatasetOptions opts;
+  opts.num_clusters = 5;
+  opts.num_cluster_points = n;
+  opts.noise_multiplier = 0.1;
+  opts.seed = seed;
+  auto ds = dbs::synth::MakeClusteredDataset(opts);
+  DBS_CHECK(ds.ok());
+  return std::move(ds)->points;
+}
+
+WorkerResult RunOne(int workers, int clients, int batches_per_client,
+                    const std::shared_ptr<const dbs::density::Kde>& model,
+                    const dbs::data::PointSet& queries) {
+  dbs::serve::ModelRegistry registry;
+  DBS_CHECK(registry.Put("est", model, "kde").ok());
+
+  dbs::serve::BatchExecutorOptions pool;
+  pool.num_workers = workers;
+  pool.queue_capacity = 4096;
+  dbs::serve::BatchExecutor executor(pool);
+  dbs::serve::ModelService service(&registry, &executor);
+  auto server = dbs::serve::Server::Start(&service, dbs::serve::ServerOptions{});
+  DBS_CHECK(server.ok());
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<int64_t> failures(clients, 0);
+  std::vector<std::thread> threads;
+  Clock::time_point start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = dbs::serve::Client::Connect((*server)->port());
+      DBS_CHECK(client.ok());
+      latencies[c].reserve(batches_per_client);
+      for (int b = 0; b < batches_per_client; ++b) {
+        dbs::serve::DensityBatchRequest request;
+        request.model = "est";
+        request.points = queries;
+        Clock::time_point sent = Clock::now();
+        auto response = client->Density(request);
+        double us = std::chrono::duration<double, std::micro>(Clock::now() -
+                                                              sent)
+                        .count();
+        if (response.ok()) {
+          latencies[c].push_back(us);
+        } else {
+          ++failures[c];
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  (*server)->Stop();
+  executor.Shutdown();
+
+  WorkerResult result;
+  result.workers = workers;
+  result.seconds = seconds;
+  std::vector<double> all;
+  for (int c = 0; c < clients; ++c) {
+    result.requests += static_cast<int64_t>(latencies[c].size());
+    result.failed += failures[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  if (seconds > 0) {
+    result.requests_per_sec = static_cast<double>(result.requests) / seconds;
+    result.points_per_sec =
+        result.requests_per_sec * static_cast<double>(queries.size());
+  }
+  if (!all.empty()) {
+    result.p50_us = dbs::Percentile(all, 0.5);
+    result.p99_us = dbs::Percentile(all, 0.99);
+  }
+  return result;
+}
+
+bool ParseWorkerList(const std::string& spec, std::vector<int>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    int value = std::atoi(spec.substr(pos, comma - pos).c_str());
+    if (value <= 0) return false;
+    out->push_back(value);
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+void WriteJson(const std::string& path, int clients, int batches,
+               int64_t points, const std::vector<WorkerResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"serve_throughput\",\n"
+               "  \"clients\": %d,\n  \"batches_per_client\": %d,\n"
+               "  \"points_per_batch\": %lld,\n  \"results\": [\n",
+               clients, batches, static_cast<long long>(points));
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkerResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"workers\": %d, \"requests\": %lld, "
+                 "\"failed\": %lld, \"seconds\": %.6f, "
+                 "\"requests_per_sec\": %.2f, \"points_per_sec\": %.1f, "
+                 "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                 r.workers, static_cast<long long>(r.requests),
+                 static_cast<long long>(r.failed), r.seconds,
+                 r.requests_per_sec, r.points_per_sec, r.p50_us, r.p99_us,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbs::tools::Flags flags;
+  if (!flags.Parse(argc, argv)) return 2;
+  int clients = static_cast<int>(flags.GetInt("clients", 4));
+  int batches = static_cast<int>(flags.GetInt("batches", 40));
+  int64_t points = flags.GetInt("points", 2000);
+  int64_t kernels = flags.GetInt("kernels", 64);
+  std::string workers_spec = flags.GetString("workers", "1,2,4,8");
+  std::string out = flags.GetString("out", "BENCH_serve_throughput.json");
+  if (!flags.AllKnown()) return 2;
+  std::vector<int> worker_counts;
+  if (!ParseWorkerList(workers_spec, &worker_counts)) {
+    std::fprintf(stderr, "bad workers= list '%s'\n", workers_spec.c_str());
+    return 2;
+  }
+
+  dbs::data::PointSet train = MakeData(20000, 23);
+  dbs::density::KdeOptions kde_opts;
+  kde_opts.num_kernels = kernels;
+  kde_opts.seed = 7;
+  auto kde = dbs::density::Kde::Fit(train, kde_opts);
+  DBS_CHECK(kde.ok());
+  auto model = std::make_shared<const dbs::density::Kde>(
+      std::move(kde).value());
+  dbs::data::PointSet queries = MakeData(points, 99);
+
+  std::printf("serve_throughput: %d clients x %d density batches of %lld "
+              "points (%lld kernels)\n\n",
+              clients, batches, static_cast<long long>(queries.size()),
+              static_cast<long long>(kernels));
+  std::printf("%8s %10s %8s %12s %14s %10s %10s\n", "workers", "requests",
+              "failed", "req/s", "points/s", "p50_us", "p99_us");
+  std::vector<WorkerResult> results;
+  for (int workers : worker_counts) {
+    WorkerResult result = RunOne(workers, clients, batches, model, queries);
+    std::printf("%8d %10lld %8lld %12.1f %14.0f %10.1f %10.1f\n",
+                result.workers, static_cast<long long>(result.requests),
+                static_cast<long long>(result.failed),
+                result.requests_per_sec, result.points_per_sec, result.p50_us,
+                result.p99_us);
+    results.push_back(result);
+  }
+  if (!out.empty()) WriteJson(out, clients, batches, queries.size(), results);
+  return 0;
+}

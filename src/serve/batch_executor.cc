@@ -1,0 +1,119 @@
+#include "serve/batch_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dbs::serve {
+
+BatchExecutor::BatchExecutor(const BatchExecutorOptions& options)
+    : num_workers_(std::max(options.num_workers, 1)),
+      queue_capacity_(std::max<int64_t>(options.queue_capacity, 1)),
+      min_shard_(std::max<int64_t>(options.min_shard, 1)) {
+  workers_.reserve(static_cast<size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BatchExecutor::~BatchExecutor() { Shutdown(); }
+
+void BatchExecutor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain semantics: even after shutdown, run whatever was admitted.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status BatchExecutor::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("executor is shut down");
+    }
+    if (static_cast<int64_t>(queue_.size()) >= queue_capacity_) {
+      return Status::Unavailable("executor queue is full");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return Status::Ok();
+}
+
+Status BatchExecutor::TrySubmitAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return Status::FailedPrecondition("executor is shut down");
+    }
+    if (static_cast<int64_t>(queue_.size() + tasks.size()) > queue_capacity_) {
+      return Status::Unavailable("executor queue is full");
+    }
+    for (auto& task : tasks) queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_all();
+  return Status::Ok();
+}
+
+Status BatchExecutor::ParallelFor(
+    int64_t total, const std::function<void(int64_t, int64_t)>& fn) {
+  if (total <= 0) return Status::Ok();
+
+  const int64_t shard =
+      std::max(min_shard_, (total + num_workers_ - 1) / num_workers_);
+  const int64_t num_shards = (total + shard - 1) / shard;
+
+  // Completion latch shared by the shards. Heap-allocated and shared so the
+  // state outlives this frame even if a caller could abandon the wait.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable done;
+    int64_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = num_shards;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(num_shards));
+  for (int64_t begin = 0; begin < total; begin += shard) {
+    const int64_t end = std::min(begin + shard, total);
+    tasks.push_back([latch, &fn, begin, end] {
+      fn(begin, end);
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->done.notify_all();
+    });
+  }
+  DBS_RETURN_IF_ERROR(TrySubmitAll(std::move(tasks)));
+
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->done.wait(lock, [&] { return latch->remaining == 0; });
+  return Status::Ok();
+}
+
+void BatchExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+int64_t BatchExecutor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+}  // namespace dbs::serve

@@ -1,0 +1,63 @@
+// Blocking client for the serve wire protocol.
+//
+// One Client wraps one TCP connection and issues synchronous
+// request/response exchanges; concurrency comes from opening one client
+// per thread (each connection is an independent request stream). Used by
+// the dbs_query tool, the examples and the end-to-end tests.
+
+#ifndef DBS_SERVE_CLIENT_H_
+#define DBS_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/request.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace dbs::serve {
+
+class Client {
+ public:
+  // Connects to the daemon (loopback by default).
+  static Result<Client> Connect(uint16_t port,
+                                const std::string& host = "127.0.0.1");
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // Registers the .dbsk model at `path` (a server-side path) under `name`.
+  Status RegisterModel(const std::string& name, const std::string& path);
+
+  Status EvictModel(const std::string& name);
+
+  Result<DensityBatchResponse> Density(const DensityBatchRequest& request);
+
+  Result<SampleResponse> Sample(const SampleRequest& request);
+
+  Result<OutlierScoreBatchResponse> OutlierScores(
+      const OutlierScoreBatchRequest& request);
+
+  Result<StatsResponse> Stats();
+
+  // Asks the daemon to shut down; the connection closes afterwards.
+  Status RequestShutdown();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  // Writes one request frame and reads the single response frame,
+  // translating kErrorResponse frames into their Status.
+  Result<Frame> RoundTrip(MessageType type,
+                          const std::vector<uint8_t>& payload,
+                          MessageType expected_response);
+
+  int fd_ = -1;
+};
+
+}  // namespace dbs::serve
+
+#endif  // DBS_SERVE_CLIENT_H_

@@ -1,0 +1,155 @@
+// Typed requests and responses of the model-serving subsystem.
+//
+// The paper's economics are "fit once, serve many": one expensive estimation
+// pass produces a tiny model that then answers density, sampling and outlier
+// questions for as long as anyone cares. These structs are the vocabulary of
+// that service. Every request names a registered model; the points it
+// operates on travel WITH the request, so the server process never touches
+// the raw dataset — it holds only the succinct estimators.
+//
+// The same structs are used by the in-process ModelService, the wire codec
+// (serve/wire.h) and the TCP daemon, which is what makes the end-to-end
+// guarantee checkable: a request answered over the socket is bitwise
+// identical to the same request answered by a direct library call.
+
+#ifndef DBS_SERVE_REQUEST_H_
+#define DBS_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/distance.h"
+#include "data/point_set.h"
+#include "outlier/ball_integration.h"
+
+namespace dbs::serve {
+
+// Request kinds, also used as the stats-bucket keys. Values are stable wire
+// identifiers — append only.
+enum class RequestType : uint32_t {
+  kRegister = 1,
+  kEvict = 2,
+  kDensityBatch = 3,
+  kSample = 4,
+  kOutlierScoreBatch = 5,
+  kStats = 6,
+  kShutdown = 7,
+};
+
+// Returns a short stable name for a request type ("density", "sample", ...).
+const char* RequestTypeName(RequestType type);
+
+// Registers (or hot-swaps) the model stored in a .dbsk file under `name`.
+// The daemon runs on the loopback interface, so the path is resolved on the
+// server's filesystem — the client ships a pointer, not megabytes.
+struct RegisterRequest {
+  std::string name;
+  std::string path;
+};
+
+struct EvictRequest {
+  std::string name;
+};
+
+// Evaluate the named model's density at each query point.
+struct DensityBatchRequest {
+  std::string model;
+  data::PointSet points;
+};
+
+struct DensityBatchResponse {
+  // Parallel to the request points.
+  std::vector<double> densities;
+};
+
+// Draw a density-biased sample of the attached points under the named model
+// (the paper's Fig-1 two-pass rule: the exact normalizer k_a is computed
+// over the attached points, then each is kept with min(1, (b/k_a) f^a)).
+struct SampleRequest {
+  std::string model;
+  // Density exponent `a` (see core/biased_sampler.h for the regimes).
+  double a = 1.0;
+  // Expected sample size b.
+  int64_t target_size = 1000;
+  // Density floor as a fraction of the model's average density.
+  double density_floor_fraction = 1e-3;
+  uint64_t seed = 1;
+  data::PointSet points;
+};
+
+struct SampleResponse {
+  data::PointSet points;
+  std::vector<double> inclusion_probs;
+  std::vector<double> densities;
+  double normalizer = 0.0;
+  int64_t clamped_count = 0;
+};
+
+// Score each attached point with N'(O, k) — the expected number of OTHER
+// points within `radius`, the integral of the model over Ball(O, radius)
+// (paper §3.2). A point is flagged a likely DB(p, k)-outlier when its score
+// is <= max_neighbors + 1, the un-slacked bound EstimateOutlierCount uses.
+struct OutlierScoreBatchRequest {
+  std::string model;
+  double radius = 0.1;
+  data::Metric metric = data::Metric::kL2;
+  int64_t max_neighbors = 10;
+  outlier::BallIntegration integration = outlier::BallIntegration::kCenterValue;
+  int qmc_samples = 64;
+  data::PointSet points;
+};
+
+struct OutlierScoreBatchResponse {
+  // Expected neighbor count per request point.
+  std::vector<double> expected_neighbors;
+  // 1 when the point is a likely outlier under the request's bound.
+  std::vector<uint8_t> likely_outlier;
+};
+
+// Latency/throughput counters for one request type.
+struct RequestStats {
+  RequestType type = RequestType::kStats;
+  uint64_t count = 0;
+  uint64_t errors = 0;
+  // Total points carried by the requests of this type.
+  uint64_t points = 0;
+  // Service-side latency, microseconds.
+  double latency_sum_us = 0.0;
+  double latency_min_us = 0.0;
+  double latency_max_us = 0.0;
+  // Percentiles over a sliding window of recent requests.
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+};
+
+struct StatsResponse {
+  // One entry per request type that has been seen at least once.
+  std::vector<RequestStats> per_type;
+  // Names of the currently registered models.
+  std::vector<std::string> models;
+};
+
+inline const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kRegister:
+      return "register";
+    case RequestType::kEvict:
+      return "evict";
+    case RequestType::kDensityBatch:
+      return "density";
+    case RequestType::kSample:
+      return "sample";
+    case RequestType::kOutlierScoreBatch:
+      return "outlier_scores";
+    case RequestType::kStats:
+      return "stats";
+    case RequestType::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+}  // namespace dbs::serve
+
+#endif  // DBS_SERVE_REQUEST_H_

@@ -1,0 +1,85 @@
+// ModelService — executes typed serving requests against registered models.
+//
+// This is the single implementation of request semantics, shared by the
+// in-process API, the tests and the TCP daemon: the daemon only decodes
+// wire frames into these structs and encodes the answers back. That is what
+// pins the end-to-end guarantee — for the same request and seed, the served
+// answer is bitwise identical to the direct library call, because it IS the
+// direct library call (BiasedSampler::Run, DensityEstimator::Evaluate,
+// BallIntegrator::IntegrateExcludingSelf), merely sharded across the
+// executor's workers where per-point independence makes that exact.
+//
+// Every request is measured (service-side latency, point counts) into
+// per-type counters surfaced by Stats() — the daemon's `stats` request.
+
+#ifndef DBS_SERVE_SERVICE_H_
+#define DBS_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "serve/batch_executor.h"
+#include "serve/model_registry.h"
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace dbs::serve {
+
+class ModelService {
+ public:
+  // Neither pointer is owned; both must outlive the service.
+  ModelService(ModelRegistry* registry, BatchExecutor* executor);
+
+  ModelService(const ModelService&) = delete;
+  ModelService& operator=(const ModelService&) = delete;
+
+  Status Register(const RegisterRequest& request);
+  Status Evict(const EvictRequest& request);
+
+  // Density evaluation sharded across the executor; kUnavailable under
+  // backpressure.
+  Result<DensityBatchResponse> Density(const DensityBatchRequest& request);
+
+  // Biased sampling is RNG-sequential, so it runs as a single executor task
+  // (still subject to admission control).
+  Result<SampleResponse> Sample(const SampleRequest& request);
+
+  // Outlier scoring sharded across the executor.
+  Result<OutlierScoreBatchResponse> OutlierScores(
+      const OutlierScoreBatchRequest& request);
+
+  StatsResponse Stats() const;
+
+  ModelRegistry* registry() { return registry_; }
+
+ private:
+  // Number of recent latencies kept per type for the percentile estimates.
+  static constexpr int kLatencyWindow = 1024;
+
+  struct TypeStats {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    uint64_t points = 0;
+    double latency_sum_us = 0.0;
+    double latency_min_us = 0.0;
+    double latency_max_us = 0.0;
+    // Ring buffer of recent latencies (microseconds).
+    std::vector<double> recent;
+    int64_t next_slot = 0;
+  };
+
+  void Record(RequestType type, bool ok, int64_t num_points,
+              double latency_us);
+
+  ModelRegistry* registry_;
+  BatchExecutor* executor_;
+
+  mutable std::mutex stats_mu_;
+  std::map<RequestType, TypeStats> stats_;
+};
+
+}  // namespace dbs::serve
+
+#endif  // DBS_SERVE_SERVICE_H_

@@ -24,6 +24,9 @@ enum class StatusCode {
   kOutOfRange,
   kIoError,
   kInternal,
+  // The operation was refused because a resource is saturated (e.g. a full
+  // request queue); retrying later may succeed.
+  kUnavailable,
 };
 
 // Returns a short stable name for a code ("InvalidArgument", ...).
@@ -54,6 +57,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -87,6 +93,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
