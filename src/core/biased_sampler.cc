@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/math.h"
 #include "util/rng.h"
@@ -37,17 +38,22 @@ Result<BiasedSample> BiasedSampler::Run(
     return Status::InvalidArgument("cannot sample an empty dataset");
   }
 
-  // Pass 1: exact normalizer k_a = sum over points of f'(x).
-  const int dim = scan.dim();
+  // Pass 1: exact normalizer k_a = sum over points of f'(x). Densities are
+  // computed batch-at-a-time (sharded when an executor is configured); the
+  // accumulation stays one sequential sweep in scan order, so k_a is
+  // bitwise independent of the worker count.
   const double floor =
       options_.density_floor_fraction * estimator.AverageDensity();
   double k_a = 0.0;
+  std::vector<double> densities;
   scan.Reset();
   data::ScanBatch batch;
   while (scan.NextBatch(&batch)) {
+    densities.resize(static_cast<size_t>(batch.count));
+    DBS_RETURN_IF_ERROR(estimator.EvaluateBatch(
+        batch.rows, batch.count, densities.data(), options_.executor));
     for (int64_t i = 0; i < batch.count; ++i) {
-      k_a += FlooredDensityPow(estimator.Evaluate(batch.point(i, dim)),
-                               floor);
+      k_a += FlooredDensityPow(densities[static_cast<size_t>(i)], floor);
     }
   }
   if (k_a <= 0) {
@@ -79,7 +85,8 @@ Result<BiasedSample> BiasedSampler::RunOnePass(data::DataScan& scan,
   // Kernel centers are a uniform sample of the data, so the sample mean of
   // f^a over them estimates E_D[f^a] and k_a ~= n * E_D[f^a]. No dataset
   // pass is spent on normalization.
-  double k_a = static_cast<double>(n) * kde.MeanDensityPow(options_.a);
+  double k_a = static_cast<double>(n) *
+               kde.MeanDensityPow(options_.a, options_.executor);
   if (k_a <= 0) {
     return Status::Internal("estimated normalizer k_a is not positive");
   }
@@ -107,13 +114,21 @@ Result<BiasedSample> BiasedSampler::SampleWithNormalizer(
   sample.dataset_size = n;
   sample.points.Reserve(options_.target_size + options_.target_size / 4);
 
+  // Densities for the whole scan batch first (parallel, pure per-point
+  // arithmetic), then one sequential RNG sweep over the precomputed values
+  // — the draw stream never depends on how the densities were computed, so
+  // the sample is bitwise reproducible across worker counts.
   Rng rng(options_.seed);
+  std::vector<double> densities;
   scan.Reset();
   data::ScanBatch batch;
   while (scan.NextBatch(&batch)) {
+    densities.resize(static_cast<size_t>(batch.count));
+    DBS_RETURN_IF_ERROR(estimator.EvaluateBatch(
+        batch.rows, batch.count, densities.data(), options_.executor));
     for (int64_t i = 0; i < batch.count; ++i) {
       data::PointView x = batch.point(i, dim);
-      double f = estimator.Evaluate(x);
+      double f = densities[static_cast<size_t>(i)];
       double fa = FlooredDensityPow(f, floor);
       double p = b / normalizer * fa;
       if (p >= 1.0) {

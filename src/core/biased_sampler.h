@@ -59,6 +59,14 @@ struct BiasedSamplerOptions {
   // header comment).
   double density_floor_fraction = 1e-3;
   uint64_t seed = 1;
+  // Optional worker pool (not owned; must outlive the sampler run). When
+  // set, each scan batch's densities are computed through the estimator's
+  // sharded EvaluateBatch — the expensive, per-point-independent part —
+  // while the Bernoulli draws stay one sequential RNG sweep over the
+  // precomputed densities. Samples are therefore BITWISE IDENTICAL for a
+  // fixed seed whether the pool has 1 or N workers, or is absent. A full
+  // executor queue surfaces as kUnavailable from Run/RunOnePass.
+  parallel::BatchExecutor* executor = nullptr;
 };
 
 class BiasedSampler {

@@ -1,0 +1,37 @@
+#include "density/density_estimator.h"
+
+namespace dbs::density {
+
+Status DensityEstimator::EvaluateBatch(const double* rows, int64_t count,
+                                       double* out,
+                                       parallel::BatchExecutor* executor)
+    const {
+  if (count <= 0) return Status::Ok();
+  const int d = dim();
+  auto shard = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out[i] = Evaluate(data::PointView(rows + i * d, d));
+    }
+  };
+  if (executor != nullptr) return executor->ParallelFor(count, shard);
+  shard(0, count);
+  return Status::Ok();
+}
+
+Status DensityEstimator::EvaluateExcludingBatch(
+    const double* rows, int64_t count, double* out,
+    parallel::BatchExecutor* executor) const {
+  if (count <= 0) return Status::Ok();
+  const int d = dim();
+  auto shard = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      data::PointView p(rows + i * d, d);
+      out[i] = EvaluateExcluding(p, p);
+    }
+  };
+  if (executor != nullptr) return executor->ParallelFor(count, shard);
+  shard(0, count);
+  return Status::Ok();
+}
+
+}  // namespace dbs::density

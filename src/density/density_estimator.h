@@ -13,6 +13,8 @@
 #include <cstdint>
 
 #include "data/point_set.h"
+#include "parallel/batch_executor.h"
+#include "util/status.h"
 
 namespace dbs::density {
 
@@ -24,6 +26,28 @@ class DensityEstimator {
 
   // Estimated local density at p, in points per unit volume.
   virtual double Evaluate(data::PointView p) const = 0;
+
+  // Batch evaluation over `count` row-major points (count * dim() doubles):
+  // out[i] = Evaluate(row i), BITWISE — batching (and sharding across
+  // `executor`'s workers, when one is supplied) is an execution detail, not
+  // a semantic one, because every point is evaluated independently with the
+  // same per-point arithmetic. Backends override this to amortize per-point
+  // work (see Kde); the default is the scalar loop. With an executor the
+  // call can fail with kUnavailable under queue backpressure, in which case
+  // `out` contents are unspecified; without one it always succeeds. Must
+  // not be called from an executor worker thread (ParallelFor blocks).
+  virtual Status EvaluateBatch(const double* rows, int64_t count, double* out,
+                               parallel::BatchExecutor* executor =
+                                   nullptr) const;
+
+  // Batch leave-one-out evaluation: out[i] = EvaluateExcluding(row i,
+  // row i), i.e. each point excludes its own contribution — the form the
+  // outlier scorer consumes. Same bitwise/backpressure contract as
+  // EvaluateBatch.
+  virtual Status EvaluateExcludingBatch(const double* rows, int64_t count,
+                                        double* out,
+                                        parallel::BatchExecutor* executor =
+                                            nullptr) const;
 
   // Number of data points the estimator was built over (the approximate
   // integral of Evaluate over the whole domain).

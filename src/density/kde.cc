@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -27,6 +28,10 @@ uint64_t HashCell(const int64_t* cell, int dim) {
 // Above this dimensionality the 3^d neighbor enumeration stops paying for
 // itself; evaluation falls back to the brute-force sum.
 constexpr int kMaxIndexDim = 6;
+
+// Tile block width for the batch inner loop: long enough to vectorize,
+// small enough that the product buffer stays in L1.
+constexpr int64_t kTileBlock = 256;
 
 }  // namespace
 
@@ -100,6 +105,7 @@ Result<Kde> Kde::Fit(data::DataScan& scan, const KdeOptions& options) {
                      static_cast<double>(kde.centers_.size()) * inv_h_prod;
   kde.support_radius_ = KernelSupportRadius(options.kernel);
 
+  kde.BuildSoA();
   if (options.use_grid_index && dim <= kMaxIndexDim) {
     kde.BuildIndex();
   }
@@ -111,21 +117,105 @@ Result<Kde> Kde::Fit(const data::PointSet& points, const KdeOptions& options) {
   return Fit(scan, options);
 }
 
+void Kde::BuildSoA() {
+  const int dim = centers_.dim();
+  const int64_t m = centers_.size();
+  centers_soa_.resize(static_cast<size_t>(dim) * m);
+  const double* rows = centers_.flat().data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      centers_soa_[static_cast<size_t>(j) * m + i] = rows[i * dim + j];
+    }
+  }
+}
+
 void Kde::BuildIndex() {
   const int dim = centers_.dim();
+  const int64_t m = centers_.size();
   cell_extent_.resize(dim);
   for (int j = 0; j < dim; ++j) {
     cell_extent_[j] = support_radius_ * bandwidths_[j];
   }
+
+  // Bucket the centers: (cell key, center) pairs, stably sorted by key so
+  // each bucket keeps its centers in index order — the same order the
+  // per-bucket vectors of the former unordered_map had, which is the
+  // summation order the bitwise-reproducibility contract pins down.
+  std::vector<std::pair<uint64_t, int32_t>> entries(
+      static_cast<size_t>(m));
   std::vector<int64_t> cell(dim);
-  for (int64_t i = 0; i < centers_.size(); ++i) {
+  for (int64_t i = 0; i < m; ++i) {
     data::PointView c = centers_[i];
     for (int j = 0; j < dim; ++j) {
       cell[j] = static_cast<int64_t>(std::floor(c[j] / cell_extent_[j]));
     }
-    grid_[HashCell(cell.data(), dim)].push_back(static_cast<int32_t>(i));
+    entries[static_cast<size_t>(i)] = {HashCell(cell.data(), dim),
+                                       static_cast<int32_t>(i)};
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const std::pair<uint64_t, int32_t>& a,
+                      const std::pair<uint64_t, int32_t>& b) {
+                     return a.first < b.first;
+                   });
+
+  int64_t distinct = 0;
+  for (int64_t i = 0; i < m; ++i) {
+    if (i == 0 || entries[i].first != entries[i - 1].first) ++distinct;
+  }
+  // Open-addressed table at <= 50% load; linear probing stays short.
+  uint64_t table = 1;
+  while (table < static_cast<uint64_t>(2 * distinct)) table <<= 1;
+  slot_mask_ = table - 1;
+  slot_keys_.assign(table, 0);
+  slot_begin_.assign(table, -1);
+  slot_end_.assign(table, 0);
+  cell_centers_.resize(static_cast<size_t>(m));
+  int64_t pos = 0;
+  while (pos < m) {
+    const uint64_t key = entries[pos].first;
+    int64_t run = pos;
+    while (run < m && entries[run].first == key) {
+      cell_centers_[static_cast<size_t>(run)] = entries[run].second;
+      ++run;
+    }
+    uint64_t s = key & slot_mask_;
+    while (slot_begin_[s] >= 0) s = (s + 1) & slot_mask_;
+    slot_keys_[s] = key;
+    slot_begin_[s] = static_cast<int32_t>(pos);
+    slot_end_[s] = static_cast<int32_t>(run);
+    pos = run;
+  }
+
+  // The {-1,0,1}^d neighbor-offset pattern, first dimension fastest —
+  // computed once here instead of re-run per evaluation.
+  num_neighbor_cells_ = 1;
+  for (int j = 0; j < dim; ++j) num_neighbor_cells_ *= 3;
+  neighbor_offsets_.resize(static_cast<size_t>(num_neighbor_cells_) * dim);
+  int offsets[kMaxIndexDim];
+  std::fill(offsets, offsets + dim, -1);
+  for (int c = 0; c < num_neighbor_cells_; ++c) {
+    for (int j = 0; j < dim; ++j) {
+      neighbor_offsets_[static_cast<size_t>(c) * dim + j] = offsets[j];
+    }
+    for (int j = 0; j < dim; ++j) {
+      if (++offsets[j] <= 1) break;
+      offsets[j] = -1;
+    }
   }
   indexed_ = true;
+}
+
+bool Kde::FindBucket(uint64_t key, int32_t* begin, int32_t* end) const {
+  uint64_t s = key & slot_mask_;
+  while (slot_begin_[s] >= 0) {
+    if (slot_keys_[s] == key) {
+      *begin = slot_begin_[s];
+      *end = slot_end_[s];
+      return true;
+    }
+    s = (s + 1) & slot_mask_;
+  }
+  return false;
 }
 
 namespace {
@@ -138,6 +228,20 @@ inline bool MatchesExclude(const double* c, data::PointView exclude, int d) {
     if (c[j] != exclude[j]) return false;
   }
   return true;
+}
+
+// Collects the deduplicated neighbor-bucket keys of `base` in ascending
+// order — the canonical bucket-visit order. Returns the key count.
+inline int NeighborKeys(const int64_t* base, const int64_t* offsets,
+                        int num_cells, int d, uint64_t* keys) {
+  int64_t cell[kMaxIndexDim];
+  for (int c = 0; c < num_cells; ++c) {
+    const int64_t* off = offsets + static_cast<size_t>(c) * d;
+    for (int j = 0; j < d; ++j) cell[j] = base[j] + off[j];
+    keys[c] = HashCell(cell, d);
+  }
+  std::sort(keys, keys + num_cells);
+  return static_cast<int>(std::unique(keys, keys + num_cells) - keys);
 }
 
 }  // namespace
@@ -175,31 +279,17 @@ double Kde::SumIndexed(data::PointView p, data::PointView exclude) const {
   for (int j = 0; j < d; ++j) {
     base[j] = static_cast<int64_t>(std::floor(p[j] / cell_extent_[j]));
   }
-  // Enumerate the 3^d neighbor cells and collect their (deduplicated) keys.
-  int64_t cell[kMaxIndexDim];
-  int offsets[kMaxIndexDim];
-  std::fill(offsets, offsets + d, -1);
   uint64_t keys[729];  // 3^6
-  int num_keys = 0;
-  while (true) {
-    for (int j = 0; j < d; ++j) cell[j] = base[j] + offsets[j];
-    keys[num_keys++] = HashCell(cell, d);
-    int j = 0;
-    for (; j < d; ++j) {
-      if (++offsets[j] <= 1) break;
-      offsets[j] = -1;
-    }
-    if (j == d) break;
-  }
-  std::sort(keys, keys + num_keys);
-  num_keys = static_cast<int>(std::unique(keys, keys + num_keys) - keys);
+  const int num_keys = NeighborKeys(base, neighbor_offsets_.data(),
+                                    num_neighbor_cells_, d, keys);
 
   double sum = 0.0;
   for (int ki = 0; ki < num_keys; ++ki) {
-    auto it = grid_.find(keys[ki]);
-    if (it == grid_.end()) continue;
-    for (int32_t idx : it->second) {
-      const double* c = centers_[idx].data();
+    int32_t bucket_begin = 0;
+    int32_t bucket_end = 0;
+    if (!FindBucket(keys[ki], &bucket_begin, &bucket_end)) continue;
+    for (int32_t t = bucket_begin; t < bucket_end; ++t) {
+      const double* c = centers_[cell_centers_[t]].data();
       double prod = 1.0;
       for (int j = 0; j < d; ++j) {
         double u = (p[j] - c[j]) * inv_bandwidths_[j];
@@ -227,13 +317,241 @@ double Kde::EvaluateExcluding(data::PointView x, data::PointView self) const {
   return norm_factor_ * sum;
 }
 
-double Kde::MeanDensityPow(double a) const {
-  double sum = 0.0;
-  for (int64_t i = 0; i < centers_.size(); ++i) {
-    double f = Evaluate(centers_[i]);
-    if (f > 0) sum += std::pow(f, a);
+// ---------------------------------------------------------------------------
+// Batch evaluation.
+//
+// The bitwise contract with the scalar path holds because nothing about the
+// per-point arithmetic changes: each point is summed against the centers of
+// its deduplicated neighbor buckets in ascending-key order (center-index
+// order within a bucket), products are taken in dimension order, and the
+// accumulator is a single double added in visit order. The batch path only
+// changes WHEN work happens: the neighbor enumeration and gather are done
+// once per cell group instead of once per point, the gathered tile is laid
+// out SoA so the kernel loop streams contiguous memory, and a zero kernel
+// factor multiplies through to +0.0 instead of branching out early (adding
+// +0.0 to a non-negative sum cannot change its bits).
+
+struct Kde::TileScratch {
+  std::vector<int32_t> idx;  // gathered center indices, visit order
+  std::vector<double> soa;   // dim arrays of length idx.size()
+};
+
+int64_t Kde::GatherTile(const int64_t* base_cell, TileScratch* scratch)
+    const {
+  const int d = dim();
+  uint64_t keys[729];
+  const int num_keys = NeighborKeys(base_cell, neighbor_offsets_.data(),
+                                    num_neighbor_cells_, d, keys);
+  scratch->idx.clear();
+  for (int ki = 0; ki < num_keys; ++ki) {
+    int32_t bucket_begin = 0;
+    int32_t bucket_end = 0;
+    if (!FindBucket(keys[ki], &bucket_begin, &bucket_end)) continue;
+    scratch->idx.insert(scratch->idx.end(),
+                        cell_centers_.begin() + bucket_begin,
+                        cell_centers_.begin() + bucket_end);
   }
-  return sum / static_cast<double>(centers_.size());
+  const int64_t tile = static_cast<int64_t>(scratch->idx.size());
+  scratch->soa.resize(static_cast<size_t>(d) * tile);
+  const int64_t m = centers_.size();
+  for (int j = 0; j < d; ++j) {
+    double* col = scratch->soa.data() + static_cast<size_t>(j) * tile;
+    const double* src = centers_soa_.data() + static_cast<size_t>(j) * m;
+    for (int64_t t = 0; t < tile; ++t) col[t] = src[scratch->idx[t]];
+  }
+  return tile;
+}
+
+double Kde::SumTile(const double* p, const double* soa, int64_t tile,
+                    const double* exclude) const {
+  const int d = dim();
+  double prod[kTileBlock];
+  double sum = 0.0;
+  for (int64_t b0 = 0; b0 < tile; b0 += kTileBlock) {
+    const int64_t block = std::min(kTileBlock, tile - b0);
+    for (int64_t t = 0; t < block; ++t) prod[t] = 1.0;
+    if (kernel_ == KernelType::kEpanechnikov) {
+      // Inlined Epanechnikov: identical arithmetic to KernelValue, minus
+      // the per-factor call; branch-free so the loop vectorizes.
+      for (int j = 0; j < d; ++j) {
+        const double pj = p[j];
+        const double ih = inv_bandwidths_[j];
+        const double* col = soa + static_cast<size_t>(j) * tile + b0;
+        for (int64_t t = 0; t < block; ++t) {
+          const double u = (pj - col[t]) * ih;
+          const double a = 1.0 - u * u;
+          prod[t] *= a > 0 ? 0.75 * a : 0.0;
+        }
+      }
+    } else {
+      for (int j = 0; j < d; ++j) {
+        const double pj = p[j];
+        const double ih = inv_bandwidths_[j];
+        const double* col = soa + static_cast<size_t>(j) * tile + b0;
+        for (int64_t t = 0; t < block; ++t) {
+          prod[t] *= KernelValue(kernel_, (pj - col[t]) * ih);
+        }
+      }
+    }
+    if (exclude == nullptr) {
+      // The sequential accumulator is the one serial FP dependency chain
+      // here, and in a 3^d neighborhood most gathered centers fall outside
+      // the support box (prod == +0.0). Compact the nonzero products —
+      // branchless and order-preserving — so the serial chain only runs
+      // over terms that matter. Skipping +0.0 additions is bitwise
+      // invisible: adding +0.0 to a non-negative accumulator is identity.
+      int64_t nz = 0;
+      for (int64_t t = 0; t < block; ++t) {
+        prod[nz] = prod[t];
+        nz += prod[t] != 0.0 ? 1 : 0;
+      }
+      for (int64_t t = 0; t < nz; ++t) sum += prod[t];
+    } else {
+      for (int64_t t = 0; t < block; ++t) {
+        if (prod[t] != 0.0) {
+          bool matches = true;
+          for (int j = 0; j < d; ++j) {
+            if (soa[static_cast<size_t>(j) * tile + b0 + t] != exclude[j]) {
+              matches = false;
+              break;
+            }
+          }
+          if (matches) continue;
+        }
+        sum += prod[t];
+      }
+    }
+  }
+  return sum;
+}
+
+void Kde::BatchRangeIndexed(const double* rows, int64_t begin, int64_t end,
+                            double* out, bool exclude_self) const {
+  const int d = dim();
+  const int64_t n = end - begin;
+  // Sort the range's points into grid cells so each cell group pays for its
+  // neighborhood gather once. Per-point results are order-independent, so
+  // regrouping is invisible in the output.
+  std::vector<int64_t> cells(static_cast<size_t>(n) * d);
+  for (int64_t i = 0; i < n; ++i) {
+    const double* p = rows + (begin + i) * d;
+    for (int j = 0; j < d; ++j) {
+      cells[static_cast<size_t>(i) * d + j] =
+          static_cast<int64_t>(std::floor(p[j] / cell_extent_[j]));
+    }
+  }
+  // Sort key: the cell hash, with the exact coordinates as a tiebreak so
+  // hash-colliding cells still land in distinct groups. The hash compare
+  // settles almost every comparison with one load instead of a d-loop.
+  std::vector<uint64_t> hashes(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    hashes[static_cast<size_t>(i)] =
+        HashCell(cells.data() + static_cast<size_t>(i) * d, d);
+  }
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const uint64_t ha = hashes[static_cast<size_t>(a)];
+    const uint64_t hb = hashes[static_cast<size_t>(b)];
+    if (ha != hb) return ha < hb;
+    const int64_t* ca = cells.data() + static_cast<size_t>(a) * d;
+    const int64_t* cb = cells.data() + static_cast<size_t>(b) * d;
+    for (int j = 0; j < d; ++j) {
+      if (ca[j] != cb[j]) return ca[j] < cb[j];
+    }
+    return false;
+  });
+
+  TileScratch scratch;
+  int64_t g = 0;
+  while (g < n) {
+    const int64_t* base = cells.data() + static_cast<size_t>(order[g]) * d;
+    int64_t h = g + 1;
+    while (h < n) {
+      const int64_t* c = cells.data() + static_cast<size_t>(order[h]) * d;
+      bool same = true;
+      for (int j = 0; j < d; ++j) {
+        if (c[j] != base[j]) {
+          same = false;
+          break;
+        }
+      }
+      if (!same) break;
+      ++h;
+    }
+    const int64_t tile = GatherTile(base, &scratch);
+    for (int64_t k = g; k < h; ++k) {
+      const int64_t i = order[k];
+      const double* p = rows + (begin + i) * d;
+      const double sum =
+          SumTile(p, scratch.soa.data(), tile, exclude_self ? p : nullptr);
+      out[begin + i] = norm_factor_ * sum;
+    }
+    g = h;
+  }
+}
+
+void Kde::BatchRangeBrute(const double* rows, int64_t begin, int64_t end,
+                          double* out, bool exclude_self) const {
+  const int d = dim();
+  const int64_t m = centers_.size();
+  for (int64_t i = begin; i < end; ++i) {
+    const double* p = rows + i * d;
+    const double sum =
+        SumTile(p, centers_soa_.data(), m, exclude_self ? p : nullptr);
+    out[i] = norm_factor_ * sum;
+  }
+}
+
+Status Kde::EvaluateBatch(const double* rows, int64_t count, double* out,
+                          parallel::BatchExecutor* executor) const {
+  if (count <= 0) return Status::Ok();
+  auto shard = [&](int64_t begin, int64_t end) {
+    if (indexed_) {
+      BatchRangeIndexed(rows, begin, end, out, /*exclude_self=*/false);
+    } else {
+      BatchRangeBrute(rows, begin, end, out, /*exclude_self=*/false);
+    }
+  };
+  if (executor != nullptr) return executor->ParallelFor(count, shard);
+  shard(0, count);
+  return Status::Ok();
+}
+
+Status Kde::EvaluateExcludingBatch(const double* rows, int64_t count,
+                                   double* out,
+                                   parallel::BatchExecutor* executor) const {
+  if (count <= 0) return Status::Ok();
+  auto shard = [&](int64_t begin, int64_t end) {
+    if (indexed_) {
+      BatchRangeIndexed(rows, begin, end, out, /*exclude_self=*/true);
+    } else {
+      BatchRangeBrute(rows, begin, end, out, /*exclude_self=*/true);
+    }
+  };
+  if (executor != nullptr) return executor->ParallelFor(count, shard);
+  shard(0, count);
+  return Status::Ok();
+}
+
+double Kde::MeanDensityPow(double a, parallel::BatchExecutor* executor)
+    const {
+  const int64_t m = centers_.size();
+  std::vector<double> f(static_cast<size_t>(m));
+  Status batched =
+      EvaluateBatch(centers_.flat().data(), m, f.data(), executor);
+  if (!batched.ok()) {
+    // Executor backpressure: fall back to the sequential batch path, which
+    // cannot fail and produces the identical values.
+    (void)EvaluateBatch(centers_.flat().data(), m, f.data(), nullptr);
+  }
+  double sum = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    if (f[static_cast<size_t>(i)] > 0) {
+      sum += std::pow(f[static_cast<size_t>(i)], a);
+    }
+  }
+  return sum / static_cast<double>(m);
 }
 
 double Kde::AverageDensity() const {
@@ -286,6 +604,7 @@ Result<Kde> Kde::FromState(State state, bool rebuild_index) {
   kde.norm_factor_ = static_cast<double>(kde.n_) /
                      static_cast<double>(kde.centers_.size()) * inv_h_prod;
   kde.support_radius_ = KernelSupportRadius(kde.kernel_);
+  kde.BuildSoA();
   if (rebuild_index && dim <= kMaxIndexDim) {
     kde.BuildIndex();
   }

@@ -14,13 +14,24 @@
 // into a uniform grid with cells the size of the support box; evaluating
 // f(x) then touches only the 3^d cells around x instead of all m centers.
 // The index is an internal acceleration only — results are identical with it
-// on or off (bench/micro_kde ablates the speedup).
+// on or off (bench/micro_kde ablates the speedup). Two structural choices
+// make the hot path fast (DESIGN.md §9):
+//
+//   * The grid is a flat open-addressed table: bucket contents live
+//     contiguously in one array, looked up by linear probing instead of
+//     chasing unordered_map nodes, and the {-1,0,1}^d neighbor-offset
+//     pattern is precomputed once at BuildIndex time instead of being
+//     re-enumerated per evaluation.
+//   * EvaluateBatch sorts query points by grid cell, gathers each cell
+//     group's neighborhood once into a contiguous SoA tile (dim × tile
+//     arrays) and runs a branch-light, auto-vectorizable product-kernel
+//     loop over it — bitwise identical to per-point Evaluate, per-point
+//     independent, and therefore shardable across executor workers.
 
 #ifndef DBS_DENSITY_KDE_H_
 #define DBS_DENSITY_KDE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "data/bounds.h"
@@ -69,11 +80,25 @@ class Kde final : public DensityEstimator {
   double EvaluateExcluding(data::PointView x,
                            data::PointView self) const override;
 
+  // Tuned batch paths (see header comment): bitwise identical to the
+  // per-point calls, kUnavailable only under executor backpressure.
+  Status EvaluateBatch(const double* rows, int64_t count, double* out,
+                       parallel::BatchExecutor* executor =
+                           nullptr) const override;
+  Status EvaluateExcludingBatch(const double* rows, int64_t count,
+                                double* out,
+                                parallel::BatchExecutor* executor =
+                                    nullptr) const override;
+
   // Average of Evaluate(c)^a over the kernel centers. Since the centers are
   // a uniform sample of the data, n * MeanDensityPow(a) is an unbiased
   // estimate of the normalizer k_a = sum_x f(x)^a — the quantity the
   // one-pass sampler variant uses in place of an exact normalization pass.
-  double MeanDensityPow(double a) const;
+  // Evaluation goes through the batch path; an optional executor shards it
+  // (falling back to the sequential path under backpressure, so the result
+  // is always the same and always produced).
+  double MeanDensityPow(double a,
+                        parallel::BatchExecutor* executor = nullptr) const;
 
   // Average density of the data's bounding box: total_mass / Volume. The
   // densities above/below this threshold are the regions the paper calls
@@ -101,10 +126,26 @@ class Kde final : public DensityEstimator {
   static Result<Kde> FromState(State state, bool rebuild_index = true);
 
  private:
+  struct TileScratch;
+
   Kde() = default;
 
   void BuildIndex();
-  uint64_t CellKey(const int64_t* cell) const;
+  // Column-major copy of the centers for the batch paths (built always).
+  void BuildSoA();
+  // Flat-table lookup: [*begin, *end) into cell_centers_ when found.
+  bool FindBucket(uint64_t key, int32_t* begin, int32_t* end) const;
+  // Gathers the 3^d-neighborhood of `base_cell` into scratch (center
+  // indices + SoA tile) in the canonical visit order; returns tile size.
+  int64_t GatherTile(const int64_t* base_cell, TileScratch* scratch) const;
+  // Ordered kernel-product sum of `p` against a SoA tile; `exclude` is the
+  // coordinates of a center to skip (nullptr = none).
+  double SumTile(const double* p, const double* soa, int64_t tile,
+                 const double* exclude) const;
+  void BatchRangeIndexed(const double* rows, int64_t begin, int64_t end,
+                         double* out, bool exclude_self) const;
+  void BatchRangeBrute(const double* rows, int64_t begin, int64_t end,
+                       double* out, bool exclude_self) const;
   // Kernel sum at p via the grid index, skipping centers whose coordinates
   // equal `exclude` (pass a default PointView to skip nothing).
   double SumIndexed(data::PointView p, data::PointView exclude) const;
@@ -119,10 +160,25 @@ class Kde final : public DensityEstimator {
   data::BoundingBox bounds_;
 
   // Grid index over centers. Cell extent along j = support_radius * h_j.
+  // The index is a flat open-addressed table: a cell's centers occupy
+  // [slot_begin_[s], slot_end_[s]) of cell_centers_, in center-index order
+  // (the order the old per-bucket vectors had — the summation-order
+  // contract the bitwise guarantees rest on).
   bool indexed_ = false;
   double support_radius_ = 1.0;
   std::vector<double> cell_extent_;
-  std::unordered_map<uint64_t, std::vector<int32_t>> grid_;
+  uint64_t slot_mask_ = 0;
+  std::vector<uint64_t> slot_keys_;
+  std::vector<int32_t> slot_begin_;  // -1 marks an empty slot
+  std::vector<int32_t> slot_end_;
+  std::vector<int32_t> cell_centers_;
+  // {-1,0,1}^d neighbor-offset pattern, row-major (3^d x d), precomputed at
+  // BuildIndex time instead of re-enumerated per evaluation.
+  int num_neighbor_cells_ = 0;
+  std::vector<int64_t> neighbor_offsets_;
+  // centers_ transposed: dim arrays of length m (centers_soa_[j*m + i] =
+  // centers_[i][j]); the contiguous columns the batch inner loop streams.
+  std::vector<double> centers_soa_;
 };
 
 }  // namespace dbs::density

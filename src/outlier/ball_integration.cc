@@ -142,4 +142,29 @@ double BallIntegrator::IntegrateExcludingSelf(
   return sum / static_cast<double>(m) * volume;
 }
 
+Status BallIntegrator::IntegrateExcludingSelfBatch(
+    const density::DensityEstimator& estimator, const double* rows,
+    int64_t count, double radius, double* out,
+    parallel::BatchExecutor* executor) const {
+  DBS_CHECK(radius >= 0);
+  if (count <= 0) return Status::Ok();
+  if (method_ == BallIntegration::kCenterValue) {
+    DBS_RETURN_IF_ERROR(
+        estimator.EvaluateExcludingBatch(rows, count, out, executor));
+    // Same per-point arithmetic as the scalar call: f * volume.
+    const double volume = Volume(radius);
+    for (int64_t i = 0; i < count; ++i) out[i] *= volume;
+    return Status::Ok();
+  }
+  auto shard = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out[i] = IntegrateExcludingSelf(
+          estimator, data::PointView(rows + i * dim_, dim_), radius);
+    }
+  };
+  if (executor != nullptr) return executor->ParallelFor(count, shard);
+  shard(0, count);
+  return Status::Ok();
+}
+
 }  // namespace dbs::outlier

@@ -47,6 +47,17 @@ class BallIntegrator {
   double IntegrateExcludingSelf(const density::DensityEstimator& estimator,
                                 data::PointView p, double radius) const;
 
+  // Batch form of IntegrateExcludingSelf over `count` row-major points:
+  // out[i] is bitwise equal to the per-point call. The center-value method
+  // flows through the estimator's batched leave-one-out evaluation (the
+  // detector's hot path); quasi-Monte-Carlo falls back to per-point
+  // integration, sharded across `executor` when one is given. Fails only
+  // with kUnavailable under executor backpressure.
+  Status IntegrateExcludingSelfBatch(
+      const density::DensityEstimator& estimator, const double* rows,
+      int64_t count, double radius, double* out,
+      parallel::BatchExecutor* executor = nullptr) const;
+
   BallIntegration method() const { return method_; }
 
  private:

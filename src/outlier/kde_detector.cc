@@ -53,18 +53,25 @@ Result<OutlierReport> DetectOutliersApproximate(
   const BallIntegrator integrator(options.integration, dim,
                                   options.qmc_samples, params.metric);
 
-  // Pass 1: score every point; keep the likely outliers.
+  // Pass 1: score every point; keep the likely outliers. Scores for each
+  // scan batch are computed through the batched (optionally multicore)
+  // integrator; the threshold sweep stays sequential in scan order so the
+  // candidate list is identical however the scores were computed.
   data::PointSet candidates(dim);
   std::vector<int64_t> candidate_indices;
   {
+    std::vector<double> scores;
     scan.Reset();
     data::ScanBatch batch;
     int64_t row = 0;
     while (scan.NextBatch(&batch)) {
+      scores.resize(static_cast<size_t>(batch.count));
+      DBS_RETURN_IF_ERROR(integrator.IntegrateExcludingSelfBatch(
+          estimator, batch.rows, batch.count, params.radius, scores.data(),
+          options.executor));
       for (int64_t i = 0; i < batch.count; ++i, ++row) {
         data::PointView x = batch.point(i, dim);
-        double expected =
-            integrator.IntegrateExcludingSelf(estimator, x, params.radius);
+        double expected = scores[static_cast<size_t>(i)];
         if (expected <= threshold) {
           if (static_cast<int64_t>(candidate_indices.size()) >=
               options.max_candidates) {
@@ -134,13 +141,16 @@ Result<int64_t> EstimateOutlierCount(
                                   options.qmc_samples, params.metric);
   const double threshold = static_cast<double>(p + 1);
   int64_t count = 0;
+  std::vector<double> scores;
   scan.Reset();
   data::ScanBatch batch;
   while (scan.NextBatch(&batch)) {
+    scores.resize(static_cast<size_t>(batch.count));
+    DBS_RETURN_IF_ERROR(integrator.IntegrateExcludingSelfBatch(
+        estimator, batch.rows, batch.count, params.radius, scores.data(),
+        options.executor));
     for (int64_t i = 0; i < batch.count; ++i) {
-      double expected = integrator.IntegrateExcludingSelf(
-          estimator, batch.point(i, dim), params.radius);
-      if (expected <= threshold) ++count;
+      if (scores[static_cast<size_t>(i)] <= threshold) ++count;
     }
   }
   return count;

@@ -42,6 +42,11 @@ struct KdeDetectorOptions {
   // Hard cap on retained candidates; exceeding it aborts with
   // FailedPrecondition (raise the slack down or p up instead of thrashing).
   int64_t max_candidates = 1000000;
+  // Optional worker pool (not owned) for the scoring pass. Scores are
+  // independent per point, so sharding them is bitwise invisible: the
+  // report is identical with 0, 1 or N workers. kUnavailable under
+  // executor backpressure.
+  parallel::BatchExecutor* executor = nullptr;
 };
 
 // Full detection: scoring pass + verification pass over `scan`.

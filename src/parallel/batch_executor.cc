@@ -1,9 +1,9 @@
-#include "serve/batch_executor.h"
+#include "parallel/batch_executor.h"
 
 #include <algorithm>
 #include <utility>
 
-namespace dbs::serve {
+namespace dbs::parallel {
 
 BatchExecutor::BatchExecutor(const BatchExecutorOptions& options)
     : num_workers_(std::max(options.num_workers, 1)),
@@ -116,4 +116,4 @@ int64_t BatchExecutor::queue_depth() const {
   return static_cast<int64_t>(queue_.size());
 }
 
-}  // namespace dbs::serve
+}  // namespace dbs::parallel

@@ -1,6 +1,9 @@
 // Contract tests: every sampler must produce IDENTICAL output whether the
 // dataset is scanned from memory or streamed from a .dbsf file — the
 // out-of-core path is the same algorithm, not an approximation of it.
+// The same contract covers HOW densities are computed: batched (optionally
+// sharded across a worker pool) evaluation must leave the sample
+// byte-identical to the pre-batching per-point pipeline.
 
 #include <cstdio>
 #include <string>
@@ -11,6 +14,7 @@
 #include "core/streaming_sampler.h"
 #include "data/dataset_io.h"
 #include "density/kde.h"
+#include "parallel/batch_executor.h"
 #include "sampling/uniform_sampler.h"
 #include "synth/generator.h"
 
@@ -38,10 +42,34 @@ std::string StageFile(const data::PointSet& points, const char* name) {
 void ExpectIdentical(const BiasedSample& a, const BiasedSample& b) {
   ASSERT_EQ(a.size(), b.size());
   EXPECT_EQ(a.inclusion_probs, b.inclusion_probs);
+  EXPECT_EQ(a.densities, b.densities);
   EXPECT_EQ(a.points.flat(), b.points.flat());
   EXPECT_DOUBLE_EQ(a.normalizer, b.normalizer);
   EXPECT_EQ(a.clamped_count, b.clamped_count);
 }
+
+// Forwards the scalar virtuals to a wrapped estimator but inherits the
+// DEFAULT batch implementations — the per-point execution the sampler used
+// before density evaluation was batched. Samples drawn through this wrapper
+// ARE the pre-batching output.
+class ScalarPathOnly final : public density::DensityEstimator {
+ public:
+  explicit ScalarPathOnly(const density::DensityEstimator* inner)
+      : inner_(inner) {}
+  int dim() const override { return inner_->dim(); }
+  double Evaluate(data::PointView p) const override {
+    return inner_->Evaluate(p);
+  }
+  double EvaluateExcluding(data::PointView x,
+                           data::PointView self) const override {
+    return inner_->EvaluateExcluding(x, self);
+  }
+  int64_t total_mass() const override { return inner_->total_mass(); }
+  double AverageDensity() const override { return inner_->AverageDensity(); }
+
+ private:
+  const density::DensityEstimator* inner_;
+};
 
 TEST(ScanEquivalenceTest, KdeFitMatchesAcrossScanKinds) {
   synth::ClusteredDataset ds = MakeData(1);
@@ -115,6 +143,60 @@ TEST(ScanEquivalenceTest, UniformSamplerMatchesAcrossScanKinds) {
   ASSERT_EQ(mem->size(), file->size());
   EXPECT_EQ(mem->flat(), file->flat());
   std::remove(path.c_str());
+}
+
+TEST(ScanEquivalenceTest, TwoPassSamplerMatchesPreBatchingPipeline) {
+  // Byte-identical samples whether densities come from the KDE's tuned
+  // batch path, the frozen pre-batching per-point path, or a batch path
+  // sharded across a worker pool — for a fixed seed they are all the same
+  // sample.
+  synth::ClusteredDataset ds = MakeData(6);
+  density::KdeOptions kde_opts;
+  kde_opts.num_kernels = 200;
+  auto kde = density::Kde::Fit(ds.points, kde_opts);
+  ASSERT_TRUE(kde.ok());
+  ScalarPathOnly frozen(&*kde);
+  BiasedSamplerOptions opts;
+  opts.a = 0.5;
+  opts.target_size = 500;
+  opts.seed = 17;
+  auto batched = BiasedSampler(opts).Run(ds.points, *kde);
+  ASSERT_TRUE(batched.ok());
+  auto reference = BiasedSampler(opts).Run(ds.points, frozen);
+  ASSERT_TRUE(reference.ok());
+  ExpectIdentical(*reference, *batched);
+
+  parallel::BatchExecutorOptions pool;
+  pool.num_workers = 4;
+  parallel::BatchExecutor executor(pool);
+  opts.executor = &executor;
+  auto sharded = BiasedSampler(opts).Run(ds.points, *kde);
+  ASSERT_TRUE(sharded.ok());
+  ExpectIdentical(*reference, *sharded);
+  executor.Shutdown();
+}
+
+TEST(ScanEquivalenceTest, OnePassSamplerMatchesAcrossExecutors) {
+  synth::ClusteredDataset ds = MakeData(7);
+  density::KdeOptions kde_opts;
+  kde_opts.num_kernels = 200;
+  auto kde = density::Kde::Fit(ds.points, kde_opts);
+  ASSERT_TRUE(kde.ok());
+  BiasedSamplerOptions opts;
+  opts.a = 1.0;
+  opts.target_size = 400;
+  opts.seed = 19;
+  auto sequential = BiasedSampler(opts).RunOnePass(ds.points, *kde);
+  ASSERT_TRUE(sequential.ok());
+
+  parallel::BatchExecutorOptions pool;
+  pool.num_workers = 4;
+  parallel::BatchExecutor executor(pool);
+  opts.executor = &executor;
+  auto sharded = BiasedSampler(opts).RunOnePass(ds.points, *kde);
+  ASSERT_TRUE(sharded.ok());
+  ExpectIdentical(*sequential, *sharded);
+  executor.Shutdown();
 }
 
 TEST(ScanEquivalenceTest, BatchSizeNeverChangesResults) {

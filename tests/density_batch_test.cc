@@ -1,0 +1,259 @@
+// Contract tests for the batched density paths: EvaluateBatch /
+// EvaluateExcludingBatch must be BITWISE identical to the per-point calls —
+// batching, cell-sorted SoA tiles, and executor sharding are execution
+// details, never semantic ones. Checked across all three estimator
+// backends, the KDE with the grid index on and off, 0/1/4 workers, and
+// against a frozen reference that forces every evaluation through the
+// pre-batching scalar virtuals.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/point_set.h"
+#include "density/grid_density.h"
+#include "density/histogram_density.h"
+#include "density/kde.h"
+#include "parallel/batch_executor.h"
+#include "synth/generator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dbs::density {
+namespace {
+
+// Forwards the scalar virtuals to a wrapped estimator but inherits the
+// DEFAULT batch implementations — i.e. exactly the per-point execution
+// every consumer used before the batch paths existed. Comparing a tuned
+// override against this wrapper pins the bitwise contract to the
+// pre-batching behavior, not to whatever both paths happen to share.
+class ScalarPathOnly final : public DensityEstimator {
+ public:
+  explicit ScalarPathOnly(const DensityEstimator* inner) : inner_(inner) {}
+  int dim() const override { return inner_->dim(); }
+  double Evaluate(data::PointView p) const override {
+    return inner_->Evaluate(p);
+  }
+  double EvaluateExcluding(data::PointView x,
+                           data::PointView self) const override {
+    return inner_->EvaluateExcluding(x, self);
+  }
+  int64_t total_mass() const override { return inner_->total_mass(); }
+  double AverageDensity() const override { return inner_->AverageDensity(); }
+
+ private:
+  const DensityEstimator* inner_;
+};
+
+data::PointSet MakeData(int dim, int64_t points, uint64_t seed) {
+  synth::ClusteredDatasetOptions opts;
+  opts.dim = dim;
+  opts.num_clusters = 5;
+  opts.num_cluster_points = points / 5;
+  opts.noise_multiplier = 0.15;
+  opts.shuffle = true;
+  opts.seed = seed;
+  auto ds = synth::MakeClusteredDataset(opts);
+  DBS_CHECK(ds.ok());
+  return std::move(ds)->points;
+}
+
+// Queries that exercise every branch: data points themselves (exact
+// center/cell hits, the exclusion case), jittered near-misses, and points
+// far outside the data bounds (empty neighborhoods).
+data::PointSet MakeQueries(const data::PointSet& data, int64_t count) {
+  data::PointSet queries(data.dim());
+  Rng rng(93);
+  for (int64_t i = 0; i < count; ++i) {
+    std::vector<double> q(static_cast<size_t>(data.dim()));
+    data::PointView base = data[i % data.size()];
+    switch (i % 4) {
+      case 0:  // verbatim data point
+        for (int j = 0; j < data.dim(); ++j) q[j] = base[j];
+        break;
+      case 1:  // near-miss jitter
+        for (int j = 0; j < data.dim(); ++j) {
+          q[j] = base[j] + 0.01 * (rng.NextDouble() - 0.5);
+        }
+        break;
+      case 2:  // anywhere in the unit box
+        for (int j = 0; j < data.dim(); ++j) q[j] = rng.NextDouble();
+        break;
+      default:  // far outside the data bounds
+        for (int j = 0; j < data.dim(); ++j) q[j] = 10.0 + rng.NextDouble();
+        break;
+    }
+    queries.Append(data::PointView(q.data(), data.dim()));
+  }
+  return queries;
+}
+
+void ExpectBitwiseEqual(const std::vector<double>& got,
+                        const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &want[i], sizeof(double)), 0)
+        << "index " << i << ": batch " << got[i] << " vs scalar " << want[i];
+  }
+}
+
+// Runs the full bitwise contract for one estimator: batch-vs-scalar, the
+// excluding variant, the pre-batching frozen reference, and 1/4-worker
+// executor sharding.
+void CheckEstimator(const DensityEstimator& estimator,
+                    const data::PointSet& queries) {
+  const int64_t n = queries.size();
+  const double* rows = queries.flat().data();
+
+  std::vector<double> scalar(static_cast<size_t>(n));
+  std::vector<double> scalar_excl(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    scalar[i] = estimator.Evaluate(queries[i]);
+    scalar_excl[i] = estimator.EvaluateExcluding(queries[i], queries[i]);
+  }
+
+  std::vector<double> batch(static_cast<size_t>(n));
+  ASSERT_TRUE(estimator.EvaluateBatch(rows, n, batch.data()).ok());
+  ExpectBitwiseEqual(batch, scalar);
+
+  std::vector<double> batch_excl(static_cast<size_t>(n));
+  ASSERT_TRUE(
+      estimator.EvaluateExcludingBatch(rows, n, batch_excl.data()).ok());
+  ExpectBitwiseEqual(batch_excl, scalar_excl);
+
+  // The frozen reference: the default batch implementation over the scalar
+  // virtuals is the pre-batching execution.
+  ScalarPathOnly frozen(&estimator);
+  std::vector<double> reference(static_cast<size_t>(n));
+  ASSERT_TRUE(frozen.EvaluateBatch(rows, n, reference.data()).ok());
+  ExpectBitwiseEqual(batch, reference);
+
+  for (int workers : {1, 4}) {
+    parallel::BatchExecutorOptions pool;
+    pool.num_workers = workers;
+    parallel::BatchExecutor executor(pool);
+    std::vector<double> sharded(static_cast<size_t>(n));
+    ASSERT_TRUE(
+        estimator.EvaluateBatch(rows, n, sharded.data(), &executor).ok());
+    ExpectBitwiseEqual(sharded, scalar);
+    std::vector<double> sharded_excl(static_cast<size_t>(n));
+    ASSERT_TRUE(estimator
+                    .EvaluateExcludingBatch(rows, n, sharded_excl.data(),
+                                            &executor)
+                    .ok());
+    ExpectBitwiseEqual(sharded_excl, scalar_excl);
+    executor.Shutdown();
+  }
+}
+
+class DensityBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DensityBatchTest, KdeIndexedMatchesScalarBitwise) {
+  const int dim = GetParam();
+  data::PointSet data = MakeData(dim, 4000, 11);
+  data::PointSet queries = MakeQueries(data, 3000);
+  KdeOptions opts;
+  opts.num_kernels = 300;
+  opts.seed = 3;
+  opts.use_grid_index = true;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+  CheckEstimator(*kde, queries);
+}
+
+TEST_P(DensityBatchTest, KdeBruteMatchesScalarBitwise) {
+  const int dim = GetParam();
+  data::PointSet data = MakeData(dim, 4000, 12);
+  data::PointSet queries = MakeQueries(data, 2000);
+  KdeOptions opts;
+  opts.num_kernels = 300;
+  opts.seed = 3;
+  opts.use_grid_index = false;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+  CheckEstimator(*kde, queries);
+}
+
+TEST_P(DensityBatchTest, GridDensityMatchesScalarBitwise) {
+  const int dim = GetParam();
+  data::PointSet data = MakeData(dim, 4000, 13);
+  data::PointSet queries = MakeQueries(data, 2000);
+  GridDensityOptions opts;
+  opts.cells_per_dim = 32;
+  auto grid = GridDensity::Fit(data, opts);
+  ASSERT_TRUE(grid.ok());
+  CheckEstimator(*grid, queries);
+}
+
+TEST_P(DensityBatchTest, HistogramDensityMatchesScalarBitwise) {
+  const int dim = GetParam();
+  data::PointSet data = MakeData(dim, 4000, 14);
+  data::PointSet queries = MakeQueries(data, 2000);
+  HistogramDensityOptions opts;
+  opts.cells_per_dim = 16;
+  auto hist = HistogramDensity::Fit(data, opts);
+  ASSERT_TRUE(hist.ok());
+  CheckEstimator(*hist, queries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DensityBatchTest, ::testing::Values(2, 3, 5));
+
+TEST(DensityBatchEdgeTest, EmptyBatchSucceeds) {
+  data::PointSet data = MakeData(2, 1000, 15);
+  KdeOptions opts;
+  opts.num_kernels = 100;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+  double unused = 0.0;
+  EXPECT_TRUE(kde->EvaluateBatch(data.flat().data(), 0, &unused).ok());
+  EXPECT_TRUE(
+      kde->EvaluateExcludingBatch(data.flat().data(), 0, &unused).ok());
+}
+
+TEST(DensityBatchEdgeTest, RoundTrippedKdeKeepsTheContract) {
+  // FromState rebuilds the index and SoA layout from a serialized snapshot;
+  // the batch contract must survive the round trip.
+  data::PointSet data = MakeData(3, 3000, 16);
+  data::PointSet queries = MakeQueries(data, 1500);
+  KdeOptions opts;
+  opts.num_kernels = 250;
+  opts.seed = 8;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+  auto restored = Kde::FromState(kde->ExportState());
+  ASSERT_TRUE(restored.ok());
+
+  const int64_t n = queries.size();
+  std::vector<double> original(static_cast<size_t>(n));
+  std::vector<double> roundtrip(static_cast<size_t>(n));
+  ASSERT_TRUE(
+      kde->EvaluateBatch(queries.flat().data(), n, original.data()).ok());
+  ASSERT_TRUE(restored
+                  ->EvaluateBatch(queries.flat().data(), n, roundtrip.data())
+                  .ok());
+  ExpectBitwiseEqual(roundtrip, original);
+  CheckEstimator(*restored, queries);
+}
+
+TEST(DensityBatchEdgeTest, MeanDensityPowMatchesAcrossExecutors) {
+  data::PointSet data = MakeData(2, 5000, 17);
+  KdeOptions opts;
+  opts.num_kernels = 400;
+  opts.seed = 21;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+  for (double a : {1.0, 0.5, -0.5}) {
+    const double sequential = kde->MeanDensityPow(a);
+    parallel::BatchExecutorOptions pool;
+    pool.num_workers = 4;
+    parallel::BatchExecutor executor(pool);
+    const double sharded = kde->MeanDensityPow(a, &executor);
+    executor.Shutdown();
+    EXPECT_EQ(std::memcmp(&sequential, &sharded, sizeof(double)), 0)
+        << "a=" << a << ": " << sequential << " vs " << sharded;
+  }
+}
+
+}  // namespace
+}  // namespace dbs::density
