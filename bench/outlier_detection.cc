@@ -95,12 +95,14 @@ int main() {
   dbs::eval::Table quality({"dataset", "n", "true outliers",
                             "KDE found", "recall", "precision",
                             "candidates", "passes"});
-  for (Workload* w : {new Workload(MakeClusteredWorkload(80000, 41)),
-                      new Workload(MakeGeoWorkload(43))}) {
-    auto exact = dbs::outlier::DetectOutliersExact(w->points, params);
+  std::vector<Workload> workloads;
+  workloads.push_back(MakeClusteredWorkload(80000, 41));
+  workloads.push_back(MakeGeoWorkload(43));
+  for (const Workload& w : workloads) {
+    auto exact = dbs::outlier::DetectOutliersExact(w.points, params);
     DBS_CHECK(exact.ok());
-    dbs::density::Kde kde = FitSharpKde(w->points);
-    dbs::data::InMemoryScan scan(&w->points);
+    dbs::density::Kde kde = FitSharpKde(w.points);
+    dbs::data::InMemoryScan scan(&w.points);
     dbs::outlier::KdeDetectorOptions detector_opts;
     detector_opts.candidate_slack = 5.0;
     auto approx = dbs::outlier::DetectOutliersApproximate(scan, kde, params,
@@ -127,7 +129,7 @@ int main() {
                               static_cast<double>(
                                   exact->outlier_indices.size());
     quality.AddRow(
-        {w->name, dbs::eval::Table::Int(w->points.size()),
+        {w.name, dbs::eval::Table::Int(w.points.size()),
          dbs::eval::Table::Int(
              static_cast<int64_t>(exact->outlier_indices.size())),
          dbs::eval::Table::Int(
@@ -136,7 +138,6 @@ int main() {
          dbs::eval::Table::Num(1.0, 3),
          dbs::eval::Table::Int(approx->candidates_checked),
          dbs::eval::Table::Int(approx->passes)});
-    delete w;
   }
   quality.Print("detection quality (passes exclude the estimator pass)");
 

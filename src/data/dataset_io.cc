@@ -86,7 +86,8 @@ Result<std::unique_ptr<FileScan>> FileScan::Open(const std::string& path,
         "dataset file is shorter than its header claims: " + path);
   }
   return std::unique_ptr<FileScan>(
-      new FileScan(f, static_cast<int>(header.dim), header.rows, batch_rows));
+      new FileScan(  // dbs-lint: allow(raw-alloc): private ctor
+          f, static_cast<int>(header.dim), header.rows, batch_rows));
 }
 
 FileScan::FileScan(std::FILE* file, int dim, int64_t rows, int64_t batch_rows)

@@ -186,6 +186,25 @@ void Kde::BuildIndex() {
     pos = run;
   }
 
+#ifndef NDEBUG
+  // Contract behind the bitwise-reproducibility guarantee: each bucket's
+  // centers must stay in ascending index (= insertion) order — that is the
+  // summation order the scalar and batch paths both follow. The stable sort
+  // above guarantees it; this re-checks after any future rewrite.
+  for (uint64_t s = 0; s <= slot_mask_; ++s) {
+    if (slot_begin_[s] < 0) continue;
+    DBS_ASSERT(slot_begin_[s] < slot_end_[s] &&
+                   slot_end_[s] <= static_cast<int32_t>(m),
+               "bucket range must be non-empty and within the center table");
+    for (int32_t t = slot_begin_[s] + 1; t < slot_end_[s]; ++t) {
+      DBS_ASSERT(cell_centers_[static_cast<size_t>(t - 1)] <
+                     cell_centers_[static_cast<size_t>(t)],
+                 "bucket centers left insertion order; the summation order "
+                 "contract is broken");
+    }
+  }
+#endif
+
   // The {-1,0,1}^d neighbor-offset pattern, first dimension fastest —
   // computed once here instead of re-run per evaluation.
   num_neighbor_cells_ = 1;

@@ -42,6 +42,8 @@ Status BatchExecutor::TrySubmit(std::function<void()> task) {
       return Status::Unavailable("executor queue is full");
     }
     queue_.push_back(std::move(task));
+    DBS_ASSERT(static_cast<int64_t>(queue_.size()) <= queue_capacity_,
+               "admission must keep the queue within its capacity bound");
   }
   work_ready_.notify_one();
   return Status::Ok();
@@ -58,6 +60,9 @@ Status BatchExecutor::TrySubmitAll(std::vector<std::function<void()>> tasks) {
       return Status::Unavailable("executor queue is full");
     }
     for (auto& task : tasks) queue_.push_back(std::move(task));
+    DBS_ASSERT(static_cast<int64_t>(queue_.size()) <= queue_capacity_,
+               "all-or-nothing admission must keep the queue within its "
+               "capacity bound");
   }
   work_ready_.notify_all();
   return Status::Ok();
@@ -88,6 +93,8 @@ Status BatchExecutor::ParallelFor(
     tasks.push_back([latch, &fn, begin, end] {
       fn(begin, end);
       std::lock_guard<std::mutex> lock(latch->mu);
+      DBS_ASSERT(latch->remaining > 0,
+                 "a shard completed after the latch already reached zero");
       if (--latch->remaining == 0) latch->done.notify_all();
     });
   }

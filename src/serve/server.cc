@@ -51,7 +51,8 @@ Result<std::unique_ptr<Server>> Server::Start(ModelService* service,
   }
 
   std::unique_ptr<Server> server(
-      new Server(service, fd, ntohs(addr.sin_port)));
+      new Server(  // dbs-lint: allow(raw-alloc): private ctor
+          service, fd, ntohs(addr.sin_port)));
   server->acceptor_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
   return server;
 }

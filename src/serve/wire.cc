@@ -452,6 +452,10 @@ Status DecodeErrorResponse(const std::vector<uint8_t>& payload) {
 std::vector<uint8_t> EncodeFrame(MessageType type,
                                  const std::vector<uint8_t>& payload) {
   WireWriter w;
+  // One allocation for the whole frame: the header Puts below would
+  // otherwise grow the buffer through several reallocations (and gcc's
+  // -Wstringop-overflow reasons about the stale intermediate capacities).
+  w.Reserve(kFrameHeaderBytes + payload.size());
   w.PutU32(kWireMagic);
   w.PutU32(kWireVersion);
   w.PutU32(static_cast<uint32_t>(type));

@@ -74,6 +74,11 @@ class WireWriter {
   // dim (u32) + count (u64) + row-major coordinates.
   void PutPoints(const data::PointSet& points);
 
+  // Pre-size the buffer when the encoded length is known up front, so a
+  // fixed Put sequence appends into one allocation instead of growing
+  // through several.
+  void Reserve(size_t bytes) { buf_.reserve(buf_.size() + bytes); }
+
   std::vector<uint8_t> Take() { return std::move(buf_); }
 
  private:

@@ -2,9 +2,11 @@
 //
 // DBS_CHECK aborts with a message when an internal invariant is violated; it
 // is always on. DBS_DCHECK compiles away outside debug builds and is meant
-// for hot paths. Neither is a substitute for Status-based error handling at
-// API boundaries: use them only for conditions that indicate a bug in this
-// library, never for bad user input.
+// for hot paths; DBS_ASSERT is its message-carrying form for stating
+// contracts (queue bounds, ordering invariants) whose violation text should
+// name the broken promise, not just the expression. Neither is a substitute
+// for Status-based error handling at API boundaries: use them only for
+// conditions that indicate a bug in this library, never for bad user input.
 
 #ifndef DBS_UTIL_CHECK_H_
 #define DBS_UTIL_CHECK_H_
@@ -34,8 +36,12 @@
 #define DBS_DCHECK(condition) \
   do {                        \
   } while (false)
+#define DBS_ASSERT(condition, msg) \
+  do {                             \
+  } while (false)
 #else
 #define DBS_DCHECK(condition) DBS_CHECK(condition)
+#define DBS_ASSERT(condition, msg) DBS_CHECK_MSG(condition, msg)
 #endif
 
 #endif  // DBS_UTIL_CHECK_H_

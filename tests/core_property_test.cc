@@ -175,12 +175,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(-1.0, -0.5, -0.25, 0.0, 0.5, 1.0),
                        ::testing::Values(Backend::kKde, Backend::kHistogram,
                                          Backend::kGrid)),
-    [](const auto& info) {
-      double a = std::get<0>(info.param);
+    [](const auto& param_info) {
+      double a = std::get<0>(param_info.param);
       std::string name = a < 0 ? "neg" : (a == 0 ? "zero" : "pos");
       name += std::to_string(static_cast<int>(std::abs(a) * 100));
       name += "_";
-      name += BackendName(std::get<1>(info.param));
+      name += BackendName(std::get<1>(param_info.param));
       return name;
     });
 

@@ -63,8 +63,9 @@ TEST_P(KernelPropertyTest, MonotoneDecreasingFromCenter) {
 
 INSTANTIATE_TEST_SUITE_P(AllKernels, KernelPropertyTest,
                          ::testing::ValuesIn(kAllKernels),
-                         [](const auto& info) {
-                           return std::string(KernelTypeName(info.param));
+                         [](const auto& param_info) {
+                           return std::string(
+                               KernelTypeName(param_info.param));
                          });
 
 TEST(KernelValueTest, KnownValues) {

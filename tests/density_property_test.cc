@@ -104,12 +104,12 @@ INSTANTIATE_TEST_SUITE_P(
                           KernelType::kGaussian),
         ::testing::Values(BandwidthRule::kScott, BandwidthRule::kSilverman),
         ::testing::Values(1, 2, 4)),
-    [](const auto& info) {
-      std::string name = KernelTypeName(std::get<0>(info.param));
-      name += std::get<1>(info.param) == BandwidthRule::kScott
+    [](const auto& param_info) {
+      std::string name = KernelTypeName(std::get<0>(param_info.param));
+      name += std::get<1>(param_info.param) == BandwidthRule::kScott
                   ? "_scott_"
                   : "_silverman_";
-      name += std::to_string(std::get<2>(info.param)) + "d";
+      name += std::to_string(std::get<2>(param_info.param)) + "d";
       return name;
     });
 

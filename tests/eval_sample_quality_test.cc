@@ -139,7 +139,7 @@ TEST(SampleQualityIntegrationTest, RealPipelineDiagnostics) {
   // (b) effective size: positive, at most the actual size, and not
   // degenerate (the two-tier density keeps weights within ~50x).
   double n_eff = EffectiveSampleSize(*sample);
-  EXPECT_GT(n_eff, sample->size() / 20.0);
+  EXPECT_GT(n_eff, static_cast<double>(sample->size()) / 20.0);
   EXPECT_LE(n_eff, static_cast<double>(sample->size()) * 1.0001);
 
   // (c) decile shares: unweighted shares sum to 1, weighted shares sum to

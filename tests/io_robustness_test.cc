@@ -38,7 +38,11 @@ void WriteFileBytes(const std::string& path,
                     const std::vector<unsigned char>& bytes) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   DBS_CHECK(f != nullptr);
-  DBS_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size());
+  // data() of an empty vector may be null, and passing null to fwrite is
+  // undefined behavior even with a zero count (UBSan: nonnull attribute).
+  if (!bytes.empty()) {
+    DBS_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size());
+  }
   std::fclose(f);
 }
 

@@ -58,7 +58,9 @@ TEST(ClusterPointCountsTest, EqualSizes) {
   int64_t total = 0;
   for (int64_t c : counts) total += c;
   EXPECT_EQ(total, 1000);
-  for (int64_t c : counts) EXPECT_NEAR(c, 250, 1);
+  for (int64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), 250.0, 1.0);
+  }
 }
 
 TEST(ClusterPointCountsTest, SizeRatioIsRespected) {

@@ -1,0 +1,146 @@
+// dbs_lint: enforce the project invariants behind the determinism
+// guarantees (see tools/lint/lint.h for the rule catalog).
+//
+// Usage:
+//   dbs_lint [root=.] [paths=src,tools,bench,tests]
+//            [baseline=tools/dbs_lint_baseline.txt]
+//            [format=text|json|github] [update_baseline=0] [out=]
+//
+// Exits 0 when no findings survive the baseline, 1 on findings, 2 on
+// usage or I/O errors. `format=github` emits workflow annotations so CI
+// findings appear inline on pull requests. `update_baseline=1` rewrites
+// the baseline to grandfather the current findings instead of failing.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/flags.h"
+#include "tools/lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::vector<std::string> SplitList(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) parts.push_back(item);
+  }
+  return parts;
+}
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbs::tools::Flags flags;
+  if (!flags.Parse(argc, argv)) return 2;
+  const std::string root = flags.GetString("root", ".");
+  const std::string paths = flags.GetString("paths", "src,tools,bench,tests");
+  const std::string baseline_rel =
+      flags.GetString("baseline", "tools/dbs_lint_baseline.txt");
+  const std::string format = flags.GetString("format", "text");
+  const bool update_baseline = flags.GetInt("update_baseline", 0) != 0;
+  const std::string out_path = flags.GetString("out", "");
+  if (!flags.AllKnown()) return 2;
+  if (format != "text" && format != "json" && format != "github") {
+    std::fprintf(stderr, "format must be text, json or github\n");
+    return 2;
+  }
+
+  // Deterministic file order: collect, then sort by repo-relative path.
+  std::vector<std::string> files;
+  for (const std::string& dir : SplitList(paths)) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) {
+      std::fprintf(stderr, "no such directory under root: %s\n", dir.c_str());
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      files.push_back(
+          fs::path(entry.path()).lexically_relative(root).generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<dbs::lint::Finding> findings;
+  for (const std::string& rel : files) {
+    std::string content;
+    if (!ReadFile(fs::path(root) / rel, &content)) {
+      std::fprintf(stderr, "cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    std::vector<dbs::lint::Finding> file_findings =
+        dbs::lint::LintSource(rel, content);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  const fs::path baseline_path = fs::path(root) / baseline_rel;
+  if (update_baseline) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", baseline_rel.c_str());
+      return 2;
+    }
+    out << dbs::lint::FormatBaseline(findings);
+    std::printf("baseline updated: %zu finding(s) grandfathered\n",
+                findings.size());
+    return 0;
+  }
+
+  std::vector<std::string> baseline;
+  {
+    std::string text;
+    if (ReadFile(baseline_path, &text)) {
+      baseline = dbs::lint::ParseBaseline(text);
+    }
+  }
+  const std::vector<dbs::lint::Finding> fresh =
+      dbs::lint::ApplyBaseline(findings, baseline);
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = dbs::lint::FormatJson(fresh);
+  } else if (format == "github") {
+    rendered = dbs::lint::FormatGithub(fresh);
+  } else {
+    rendered = dbs::lint::FormatText(fresh);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << rendered;
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+  if (format != "text") {
+    std::fprintf(stderr, "%zu new finding(s), %zu scanned file(s)\n",
+                 fresh.size(), files.size());
+  }
+  return fresh.empty() ? 0 : 1;
+}

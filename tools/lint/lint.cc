@@ -1,0 +1,571 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace dbs::lint {
+namespace {
+
+bool IsIdent(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when code[pos, pos+token.size()) equals `token` with identifier
+// boundaries on both sides.
+bool TokenAt(const std::string& code, size_t pos, const std::string& token) {
+  if (code.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && IsIdent(code[pos - 1])) return false;
+  const size_t after = pos + token.size();
+  if (after < code.size() && IsIdent(code[after])) return false;
+  return true;
+}
+
+// Positions of token-bounded occurrences of `token` in `code`.
+std::vector<size_t> FindToken(const std::string& code,
+                              const std::string& token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    if (TokenAt(code, pos, token)) hits.push_back(pos);
+    pos += 1;
+  }
+  return hits;
+}
+
+// First non-space character at or after `pos`, or '\0'.
+char NextNonSpace(const std::string& s, size_t pos) {
+  while (pos < s.size()) {
+    if (!std::isspace(static_cast<unsigned char>(s[pos]))) return s[pos];
+    ++pos;
+  }
+  return '\0';
+}
+
+// Last non-space character strictly before `pos`, or '\0'.
+char PrevNonSpace(const std::string& s, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(s[pos]))) return s[pos];
+  }
+  return '\0';
+}
+
+// The identifier token ending immediately before the non-space run that
+// precedes `pos` ("operator" in "operator delete"), or "".
+std::string PrevToken(const std::string& s, size_t pos) {
+  while (pos > 0 && std::isspace(static_cast<unsigned char>(s[pos - 1]))) {
+    --pos;
+  }
+  size_t end = pos;
+  while (pos > 0 && IsIdent(s[pos - 1])) --pos;
+  return s.substr(pos, end - pos);
+}
+
+std::string Normalize(const std::string& line) {
+  std::string out;
+  bool in_space = true;  // leading whitespace is dropped
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out.push_back(' ');
+    in_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsBlank(const std::string& s) {
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+// Parses every `dbs-lint: allow(a, b)` marker in `raw` into rule names.
+std::vector<std::string> ParseAllowMarker(const std::string& raw) {
+  std::vector<std::string> rules;
+  const std::string marker = "dbs-lint: allow(";
+  size_t pos = 0;
+  while ((pos = raw.find(marker, pos)) != std::string::npos) {
+    size_t cursor = pos + marker.size();
+    const size_t close = raw.find(')', cursor);
+    if (close == std::string::npos) break;
+    std::string inside = raw.substr(cursor, close - cursor);
+    std::string rule;
+    std::istringstream list(inside);
+    while (std::getline(list, rule, ',')) {
+      rule = Normalize(rule);
+      if (!rule.empty()) rules.push_back(rule);
+    }
+    pos = close;
+  }
+  return rules;
+}
+
+struct RuleContext {
+  const std::string& path;
+  const std::vector<CodeLine>& lines;
+  std::vector<Finding>* findings;
+
+  void Add(const std::string& rule, int line, const std::string& message) {
+    Finding f;
+    f.rule = rule;
+    f.file = path;
+    f.line = line;
+    f.code = Normalize(lines[static_cast<size_t>(line - 1)].code);
+    f.message = message;
+    findings->push_back(std::move(f));
+  }
+};
+
+// --- nondet-seed ------------------------------------------------------------
+
+void CheckNondetSeed(RuleContext& ctx) {
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    const int line = static_cast<int>(i) + 1;
+    if (!FindToken(code, "random_device").empty()) {
+      ctx.Add("nondet-seed", line,
+              "std::random_device is nondeterministic; seed util/rng.h "
+              "Rng explicitly");
+      continue;
+    }
+    for (const char* fn : {"rand", "srand", "drand48", "random"}) {
+      bool hit = false;
+      for (size_t pos : FindToken(code, fn)) {
+        if (NextNonSpace(code, pos + std::string(fn).size()) == '(') {
+          ctx.Add("nondet-seed", line,
+                  std::string(fn) +
+                      "() draws from hidden global state; use util/rng.h "
+                      "Rng with an explicit seed");
+          hit = true;
+          break;
+        }
+      }
+      if (hit) break;
+    }
+    for (size_t pos : FindToken(code, "time")) {
+      if (NextNonSpace(code, pos + 4) == '(') {
+        ctx.Add("nondet-seed", line,
+                "time() makes runs time-dependent; determinism requires "
+                "explicit seeds");
+        break;
+      }
+    }
+  }
+}
+
+// --- library-print ----------------------------------------------------------
+
+void CheckLibraryPrint(RuleContext& ctx) {
+  if (!StartsWith(ctx.path, "src/")) return;
+  if (ctx.path == "src/util/check.h") return;
+  if (StartsWith(ctx.path, "src/eval/report.")) return;
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    const int line = static_cast<int>(i) + 1;
+    for (const char* name : {"cout", "cerr", "printf", "fprintf", "puts",
+                             "fputs", "putchar"}) {
+      if (!FindToken(code, name).empty()) {
+        ctx.Add("library-print", line,
+                "the library must not print; report errors through Status "
+                "and leave output to src/eval/report and the tools");
+        break;
+      }
+    }
+  }
+}
+
+// --- raw-alloc --------------------------------------------------------------
+
+void CheckRawAlloc(RuleContext& ctx) {
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    const int line = static_cast<int>(i) + 1;
+    bool flagged = false;
+    for (size_t pos : FindToken(code, "new")) {
+      if (PrevToken(code, pos) == "operator") continue;
+      ctx.Add("raw-alloc", line,
+              "raw new; express ownership with containers or "
+              "std::make_unique");
+      flagged = true;
+      break;
+    }
+    if (flagged) continue;
+    for (size_t pos : FindToken(code, "delete")) {
+      if (PrevNonSpace(code, pos) == '=') continue;  // `= delete` declaration
+      if (PrevToken(code, pos) == "operator") continue;
+      ctx.Add("raw-alloc", line,
+              "raw delete; express ownership with containers or smart "
+              "pointers");
+      flagged = true;
+      break;
+    }
+    if (flagged) continue;
+    for (const char* fn : {"malloc", "calloc", "realloc", "free"}) {
+      bool hit = false;
+      for (size_t pos : FindToken(code, fn)) {
+        if (NextNonSpace(code, pos + std::string(fn).size()) == '(') {
+          ctx.Add("raw-alloc", line,
+                  std::string(fn) + "() bypasses RAII; use containers or "
+                                    "smart pointers");
+          hit = true;
+          break;
+        }
+      }
+      if (hit) break;
+    }
+  }
+}
+
+// --- unordered-container ----------------------------------------------------
+
+void CheckUnorderedContainer(RuleContext& ctx) {
+  if (!StartsWith(ctx.path, "src/density/") &&
+      !StartsWith(ctx.path, "src/core/")) {
+    return;
+  }
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    const int line = static_cast<int>(i) + 1;
+    for (const char* name : {"unordered_map", "unordered_set",
+                             "unordered_multimap", "unordered_multiset"}) {
+      if (!FindToken(code, name).empty()) {
+        ctx.Add("unordered-container", line,
+                "hash-order iteration breaks the bitwise-reproducibility "
+                "contract in the numeric core; use a sorted structure "
+                "(see Kde::BuildIndex)");
+        break;
+      }
+    }
+  }
+}
+
+// --- serve-throw ------------------------------------------------------------
+
+void CheckServeThrow(RuleContext& ctx) {
+  if (!StartsWith(ctx.path, "src/serve/")) return;
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    const std::string& code = ctx.lines[i].code;
+    const int line = static_cast<int>(i) + 1;
+    if (!FindToken(code, "throw").empty()) {
+      ctx.Add("serve-throw", line,
+              "the serving stack's error contract is Status codes on the "
+              "wire; exceptions cannot cross it");
+    }
+  }
+}
+
+// --- header rules -----------------------------------------------------------
+
+void CheckHeaderRules(RuleContext& ctx) {
+  if (!EndsWith(ctx.path, ".h")) return;
+  int first_code_line = 0;
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    if (!IsBlank(ctx.lines[i].code)) {
+      first_code_line = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  if (first_code_line > 0) {
+    std::string first =
+        Normalize(ctx.lines[static_cast<size_t>(first_code_line - 1)].code);
+    if (!StartsWith(first, "#ifndef") && !StartsWith(first, "#pragma once")) {
+      ctx.Add("header-guard", first_code_line,
+              "headers must open with an include guard (#ifndef or "
+              "#pragma once)");
+    }
+  }
+  for (size_t i = 0; i < ctx.lines.size(); ++i) {
+    if (ctx.lines[i].code.find("using namespace") != std::string::npos) {
+      ctx.Add("using-namespace-header", static_cast<int>(i) + 1,
+              "`using namespace` in a header leaks into every includer");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CodeLine> StripComments(const std::string& content) {
+  std::vector<CodeLine> lines;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string code;
+  std::string raw;
+  std::string raw_delim;  // `)delim"` terminator for raw string literals
+  const size_t n = content.size();
+  for (size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      lines.push_back({code, raw});
+      code.clear();
+      raw.clear();
+      if (state == State::kLineComment) state = State::kCode;
+      continue;
+    }
+    raw.push_back(c);
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kLineComment;
+          raw.push_back('/');
+          ++i;
+        } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+          state = State::kBlockComment;
+          raw.push_back('*');
+          ++i;
+          code.append("  ");
+        } else if (c == '"' &&
+                   (i == 0 || content[i - 1] != 'R' ||
+                    (i >= 2 && IsIdent(content[i - 2])))) {
+          state = State::kString;
+          code.push_back('"');
+        } else if (c == '"') {  // R"delim( raw string opener
+          size_t close = content.find('(', i + 1);
+          if (close == std::string::npos) {
+            code.push_back('"');
+            state = State::kString;
+          } else {
+            raw_delim = ")";
+            raw_delim.append(content, i + 1, close - i - 1);
+            raw_delim.push_back('"');
+            state = State::kRawString;
+            code.push_back('"');
+            for (size_t k = i + 1; k <= close; ++k) raw.push_back(content[k]);
+            i = close;
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          code.push_back('\'');
+        } else {
+          code.push_back(c);
+        }
+        break;
+      }
+      case State::kLineComment:
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < n && content[i + 1] == '/') {
+          state = State::kCode;
+          raw.push_back('/');
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n && content[i + 1] != '\n') {
+          raw.push_back(content[i + 1]);
+          code.append("  ");
+          ++i;
+        } else if (c == '"') {
+          code.push_back('"');
+          state = State::kCode;
+        } else {
+          code.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n && content[i + 1] != '\n') {
+          raw.push_back(content[i + 1]);
+          code.append("  ");
+          ++i;
+        } else if (c == '\'') {
+          code.push_back('\'');
+          state = State::kCode;
+        } else {
+          code.push_back(' ');
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' &&
+            content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = i + 1; k < i + raw_delim.size(); ++k) {
+            raw.push_back(content[k]);
+          }
+          i += raw_delim.size() - 1;
+          code.push_back('"');
+          state = State::kCode;
+        } else {
+          code.push_back(' ');
+        }
+        break;
+    }
+  }
+  if (!raw.empty() || !code.empty()) lines.push_back({code, raw});
+  return lines;
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& content) {
+  const std::vector<CodeLine> lines = StripComments(content);
+  std::vector<Finding> findings;
+  RuleContext ctx{path, lines, &findings};
+  CheckNondetSeed(ctx);
+  CheckLibraryPrint(ctx);
+  CheckRawAlloc(ctx);
+  CheckUnorderedContainer(ctx);
+  CheckServeThrow(ctx);
+  CheckHeaderRules(ctx);
+
+  // Suppressions: a marker on the offending line, or alone on the line
+  // above it (a comment-only line applies downward).
+  std::vector<Finding> kept;
+  for (const Finding& f : findings) {
+    const size_t idx = static_cast<size_t>(f.line - 1);
+    std::vector<std::string> allowed =
+        ParseAllowMarker(lines[idx].raw);
+    if (idx > 0 && IsBlank(lines[idx - 1].code)) {
+      std::vector<std::string> above = ParseAllowMarker(lines[idx - 1].raw);
+      allowed.insert(allowed.end(), above.begin(), above.end());
+    }
+    if (std::find(allowed.begin(), allowed.end(), f.rule) != allowed.end()) {
+      continue;
+    }
+    kept.push_back(f);
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return kept;
+}
+
+std::vector<std::string> ParseBaseline(const std::string& text) {
+  std::vector<std::string> entries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (IsBlank(line) || line[0] == '#') continue;
+    entries.push_back(line);
+  }
+  return entries;
+}
+
+namespace {
+
+std::string BaselineKey(const Finding& f) {
+  return f.rule + "|" + f.file + "|" + f.code;
+}
+
+}  // namespace
+
+std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
+                                   const std::vector<std::string>& baseline) {
+  std::map<std::string, int> budget;
+  for (const std::string& entry : baseline) ++budget[entry];
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    auto it = budget.find(BaselineKey(f));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    fresh.push_back(f);
+  }
+  return fresh;
+}
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(BaselineKey(f));
+  std::sort(keys.begin(), keys.end());
+  std::string out =
+      "# dbs_lint baseline: pre-existing findings grandfathered in.\n"
+      "# Regenerate with: dbs_lint update_baseline=1\n"
+      "# Format: rule|path|normalized code (duplicates = multiplicity)\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FormatText(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+           f.message + "\n    " + f.code + "\n";
+  }
+  out += std::to_string(findings.size()) + " finding(s)\n";
+  return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatJson(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {\"rule\": \"" + JsonEscape(f.rule) + "\", \"file\": \"" +
+           JsonEscape(f.file) + "\", \"line\": " + std::to_string(f.line) +
+           ", \"code\": \"" + JsonEscape(f.code) + "\", \"message\": \"" +
+           JsonEscape(f.message) + "\"}";
+    out += (i + 1 < findings.size()) ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string FormatGithub(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    out += "::error file=" + f.file + ",line=" + std::to_string(f.line) +
+           ",title=dbs_lint " + f.rule + "::" + f.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace dbs::lint
