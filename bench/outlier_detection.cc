@@ -9,17 +9,34 @@
 //   * the candidate-slack tradeoff,
 //   * end-to-end runtime vs the exact kd-tree detector and the O(n^2)
 //     nested loop.
+//
+// mode=batch switches to the perf-smoke harness for the batched scorer:
+// it times the per-point IntegrateExcludingSelf loop against the
+// probe-tiled IntegrateExcludingSelfBatch (sequential and sharded across a
+// BatchExecutor) on the same queries, checks every batched score bitwise
+// against the scalar ones, and exits nonzero on any mismatch — CI runs
+// this as the regression gate for the batch rollout.
+//
+//   outlier_detection [mode=paper] [points=40000] [queries=4000]
+//                     [qmc_samples=64] [reps=3] [threads=4]
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "density/kde.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "outlier/ball_integration.h"
 #include "outlier/exact_detector.h"
 #include "outlier/kde_detector.h"
+#include "parallel/batch_executor.h"
 #include "synth/generator.h"
 #include "synth/geo.h"
 #include "synth/outlier_planting.h"
+#include "tools/flags.h"
 #include "util/check.h"
 
 namespace {
@@ -80,9 +97,136 @@ dbs::density::Kde FitSharpKde(const dbs::data::PointSet& points) {
   return std::move(kde).value();
 }
 
+// Runs `body` `reps` times and returns the fastest wall-clock seconds.
+template <typename Body>
+double TimeBest(int reps, Body&& body) {
+  using Clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    Clock::time_point start = Clock::now();
+    body();
+    double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (r == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+int64_t CountMismatches(const std::vector<double>& got,
+                        const std::vector<double>& want) {
+  DBS_CHECK(got.size() == want.size());
+  int64_t bad = 0;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (std::memcmp(&got[i], &want[i], sizeof(double)) != 0) ++bad;
+  }
+  return bad;
+}
+
+// mode=batch: scalar vs batched QMC ball scoring, bitwise-checked. Returns
+// the process exit code (nonzero on any batch/scalar mismatch).
+int RunBatchMode(int64_t points, int64_t queries, int qmc_samples, int reps,
+                 int threads, double radius) {
+  std::printf("outlier_detection mode=batch: %lld points, %lld queries, "
+              "qmc_samples=%d, radius=%.3f, best of %d reps\n\n",
+              static_cast<long long>(points),
+              static_cast<long long>(queries), qmc_samples, radius, reps);
+
+  Workload w = MakeClusteredWorkload(points, 41);
+  dbs::density::Kde kde = FitSharpKde(w.points);
+  dbs::data::PointSet scored = w.points.Gather([&] {
+    std::vector<int64_t> idx;
+    const int64_t stride = w.points.size() / queries > 0
+                               ? w.points.size() / queries
+                               : 1;
+    for (int64_t i = 0; i < w.points.size() &&
+         static_cast<int64_t>(idx.size()) < queries; i += stride) {
+      idx.push_back(i);
+    }
+    return idx;
+  }());
+  const int64_t nq = scored.size();
+  const double* rows = scored.flat().data();
+  dbs::outlier::BallIntegrator integrator(
+      dbs::outlier::BallIntegration::kQuasiMonteCarlo, scored.dim(),
+      qmc_samples);
+
+  std::vector<double> ref(static_cast<size_t>(nq));
+  std::vector<double> got(static_cast<size_t>(nq));
+
+  const double scalar_s = TimeBest(reps, [&] {
+    for (int64_t i = 0; i < nq; ++i) {
+      ref[static_cast<size_t>(i)] =
+          integrator.IntegrateExcludingSelf(kde, scored[i], radius);
+    }
+  });
+
+  const double batch_s = TimeBest(reps, [&] {
+    DBS_CHECK(integrator
+                  .IntegrateExcludingSelfBatch(kde, rows, nq, radius,
+                                               got.data(), nullptr)
+                  .ok());
+  });
+  const int64_t batch_bad = CountMismatches(got, ref);
+
+  dbs::parallel::BatchExecutorOptions pool;
+  pool.num_workers = threads;
+  pool.queue_capacity = 4096;
+  dbs::parallel::BatchExecutor executor(pool);
+  const double sharded_s = TimeBest(reps, [&] {
+    DBS_CHECK(integrator
+                  .IntegrateExcludingSelfBatch(kde, rows, nq, radius,
+                                               got.data(), &executor)
+                  .ok());
+  });
+  executor.Shutdown();
+  const int64_t sharded_bad = CountMismatches(got, ref);
+
+  std::printf("%18s %10s %14s %9s %10s\n", "series", "seconds",
+              "points_per_sec", "speedup", "mismatch");
+  auto row = [&](const char* series, double seconds, int64_t bad) {
+    std::printf("%18s %10.4f %14.0f %8.2fx %10lld\n", series, seconds,
+                seconds > 0 ? static_cast<double>(nq) / seconds : 0.0,
+                seconds > 0 ? scalar_s / seconds : 0.0,
+                static_cast<long long>(bad));
+  };
+  row("scalar_qmc", scalar_s, 0);
+  row("batch_qmc", batch_s, batch_bad);
+  row("batch_qmc_sharded", sharded_s, sharded_bad);
+
+  const int64_t total_bad = batch_bad + sharded_bad;
+  if (total_bad > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld batched scores differ bitwise from scalar\n",
+                 static_cast<long long>(total_bad));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  dbs::tools::Flags flags;
+  if (!flags.Parse(argc, argv)) return 2;
+  const std::string mode = flags.GetString("mode", "paper");
+  const int64_t batch_points = flags.GetInt("points", 40000);
+  const int64_t batch_queries = flags.GetInt("queries", 4000);
+  const int qmc_samples = static_cast<int>(flags.GetInt("qmc_samples", 64));
+  const int reps = static_cast<int>(flags.GetInt("reps", 3));
+  const int threads = static_cast<int>(flags.GetInt("threads", 4));
+  if (!flags.AllKnown()) return 2;
+  DBS_CHECK(batch_points > 0 && batch_queries > 0 && qmc_samples > 0 &&
+            reps > 0 && threads > 0);
+  if (mode == "batch") {
+    return RunBatchMode(batch_points, batch_queries, qmc_samples, reps,
+                        threads, /*radius=*/0.05);
+  }
+  if (mode != "paper") {
+    std::fprintf(stderr, "unknown mode '%s' (expected paper|batch)\n",
+                 mode.c_str());
+    return 2;
+  }
+
   dbs::outlier::DbOutlierParams params;
   params.radius = 0.05;
   params.max_neighbors = 5;

@@ -1,5 +1,6 @@
 #include "data/dataset_io.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dbs::data {
@@ -46,7 +47,8 @@ Result<PointSet> ReadDatasetFile(const std::string& path) {
 }
 
 Result<std::unique_ptr<FileScan>> FileScan::Open(const std::string& path,
-                                                 int64_t batch_rows) {
+                                                 int64_t batch_rows,
+                                                 bool double_buffered) {
   if (batch_rows <= 0) {
     return Status::InvalidArgument("batch_rows must be positive");
   }
@@ -87,19 +89,81 @@ Result<std::unique_ptr<FileScan>> FileScan::Open(const std::string& path,
   }
   return std::unique_ptr<FileScan>(
       new FileScan(  // dbs-lint: allow(raw-alloc): private ctor
-          f, static_cast<int>(header.dim), header.rows, batch_rows));
+          f, static_cast<int>(header.dim), header.rows, batch_rows,
+          double_buffered));
 }
 
-FileScan::FileScan(std::FILE* file, int dim, int64_t rows, int64_t batch_rows)
-    : file_(file), dim_(dim), rows_(rows), batch_rows_(batch_rows) {
+FileScan::FileScan(std::FILE* file, int dim, int64_t rows, int64_t batch_rows,
+                   bool double_buffered)
+    : file_(file),
+      dim_(dim),
+      rows_(rows),
+      batch_rows_(batch_rows),
+      double_buffered_(double_buffered) {
   buffer_.resize(static_cast<size_t>(batch_rows_) * dim_);
+  if (double_buffered_) {
+    prefetch_buffer_.resize(static_cast<size_t>(batch_rows_) * dim_);
+    // Spawned only after Open validated the header and payload length, so
+    // malformed files never reach the thread.
+    prefetch_thread_ = std::thread([this] { PrefetchLoop(); });
+  }
 }
 
 FileScan::~FileScan() {
+  if (prefetch_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    fill_requested_cv_.notify_one();
+    prefetch_thread_.join();
+  }
   if (file_ != nullptr) std::fclose(file_);
 }
 
+void FileScan::PrefetchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    fill_requested_cv_.wait(lock,
+                            [this] { return fill_requested_ || shutdown_; });
+    if (shutdown_) return;
+    const int64_t want = fill_want_;
+    // The consumer never touches file_ or prefetch_buffer_ while a fill is
+    // in flight (it waits for fill_done_), so reading unlocked is safe.
+    lock.unlock();
+    size_t got = std::fread(prefetch_buffer_.data(), sizeof(double) * dim_,
+                            static_cast<size_t>(want), file_);
+    lock.lock();
+    fill_got_ = got;
+    fill_requested_ = false;
+    fill_done_ = true;
+    fill_done_cv_.notify_all();
+  }
+}
+
+void FileScan::RequestFill(int64_t want) {
+  fill_want_ = want;
+  fill_done_ = false;
+  fill_requested_ = true;
+  fill_requested_cv_.notify_one();
+}
+
 void FileScan::Reset() {
+  if (double_buffered_) {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Drain any in-flight fill so the fseek cannot race the fread; the
+    // stale chunk (from the pre-Reset position) is simply discarded.
+    fill_done_cv_.wait(lock, [this] { return !fill_requested_; });
+    fill_done_ = false;
+    std::fseek(file_, sizeof(FileHeader), SEEK_SET);
+    cursor_ = 0;
+    started_ = true;
+    // Kick off the first chunk's prefetch immediately: it loads while the
+    // caller is still between Reset and the first NextBatch.
+    if (rows_ > 0) RequestFill(std::min(batch_rows_, rows_));
+    BumpPass();
+    return;
+  }
   std::fseek(file_, sizeof(FileHeader), SEEK_SET);
   cursor_ = 0;
   started_ = true;
@@ -109,6 +173,26 @@ void FileScan::Reset() {
 bool FileScan::NextBatch(ScanBatch* batch) {
   DBS_CHECK_MSG(started_, "Reset() must be called before NextBatch()");
   if (cursor_ >= rows_) return false;
+  if (double_buffered_) {
+    int64_t want = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      fill_done_cv_.wait(lock, [this] { return fill_done_; });
+      fill_done_ = false;
+      want = fill_want_;
+      // Same abort, same message as the synchronous path — surfaced on the
+      // calling thread, not the prefetch thread.
+      DBS_CHECK_MSG(fill_got_ == static_cast<size_t>(want),
+                    "dataset file shorter than its header claims");
+      buffer_.swap(prefetch_buffer_);
+      cursor_ += want;
+      // Overlap: the next chunk loads while the caller processes this one.
+      if (cursor_ < rows_) RequestFill(std::min(batch_rows_, rows_ - cursor_));
+    }
+    batch->rows = buffer_.data();
+    batch->count = want;
+    return true;
+  }
   int64_t want = std::min(batch_rows_, rows_ - cursor_);
   size_t got = std::fread(buffer_.data(), sizeof(double) * dim_,
                           static_cast<size_t>(want), file_);

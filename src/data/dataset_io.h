@@ -8,9 +8,12 @@
 #ifndef DBS_DATA_DATASET_IO_H_
 #define DBS_DATA_DATASET_IO_H_
 
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/dataset.h"
@@ -29,11 +32,23 @@ Status WriteDatasetFile(const std::string& path, const PointSet& points);
 Result<PointSet> ReadDatasetFile(const std::string& path);
 
 // Streaming scan over a .dbsf file. Owns the file handle.
+//
+// With `double_buffered` set, a persistent background thread prefetches the
+// NEXT chunk into a second buffer while the caller processes the current
+// one, overlapping file I/O with evaluation (the out-of-core samplers'
+// density batches). Batches are byte-identical to the synchronous scan:
+// the same chunks come back in the same order from the same buffers-swap
+// discipline, only WHEN the freads run moves. Header/payload validation
+// happens in Open, before the thread exists, so malformed files surface the
+// same Status in both modes; a file truncated mid-scan aborts with the same
+// DBS_CHECK message, raised on the calling thread. FileScan remains
+// single-consumer: NextBatch/Reset must not be called concurrently.
 class FileScan : public DataScan {
  public:
   // Opens `path`, validating the header.
   static Result<std::unique_ptr<FileScan>> Open(const std::string& path,
-                                                int64_t batch_rows = 4096);
+                                                int64_t batch_rows = 4096,
+                                                bool double_buffered = false);
 
   ~FileScan() override;
 
@@ -42,11 +57,21 @@ class FileScan : public DataScan {
 
   int dim() const override { return dim_; }
   int64_t size() const override { return rows_; }
+  bool double_buffered() const { return double_buffered_; }
   void Reset() override;
   bool NextBatch(ScanBatch* batch) override;
 
  private:
-  FileScan(std::FILE* file, int dim, int64_t rows, int64_t batch_rows);
+  FileScan(std::FILE* file, int dim, int64_t rows, int64_t batch_rows,
+           bool double_buffered);
+
+  // Body of the prefetch thread: waits for a fill request, freads the next
+  // chunk into prefetch_buffer_, reports completion. The file position is
+  // handed back and forth through the fill handshake, so exactly one thread
+  // touches file_ at a time.
+  void PrefetchLoop();
+  // Asks the prefetch thread for the next `want` rows (mu_ must be held).
+  void RequestFill(int64_t want);
 
   std::FILE* file_;
   int dim_;
@@ -55,6 +80,22 @@ class FileScan : public DataScan {
   int64_t cursor_ = 0;
   bool started_ = false;
   std::vector<double> buffer_;
+
+  // Double-buffering state. The consumer owns buffer_; the prefetch thread
+  // owns prefetch_buffer_ while a fill is in flight; NextBatch swaps them
+  // after the handshake, so a returned batch stays valid until the next
+  // NextBatch/Reset, exactly like the synchronous mode.
+  bool double_buffered_ = false;
+  std::vector<double> prefetch_buffer_;
+  std::thread prefetch_thread_;
+  std::mutex mu_;
+  std::condition_variable fill_requested_cv_;
+  std::condition_variable fill_done_cv_;
+  bool fill_requested_ = false;
+  bool fill_done_ = false;
+  bool shutdown_ = false;
+  int64_t fill_want_ = 0;
+  size_t fill_got_ = 0;
 };
 
 }  // namespace dbs::data

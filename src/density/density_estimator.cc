@@ -34,4 +34,20 @@ Status DensityEstimator::EvaluateExcludingBatch(
   return Status::Ok();
 }
 
+Status DensityEstimator::EvaluateExcludingSelvesBatch(
+    const double* rows, const double* selves, int64_t count, double* out,
+    parallel::BatchExecutor* executor) const {
+  if (count <= 0) return Status::Ok();
+  const int d = dim();
+  auto shard = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      out[i] = EvaluateExcluding(data::PointView(rows + i * d, d),
+                                 data::PointView(selves + i * d, d));
+    }
+  };
+  if (executor != nullptr) return executor->ParallelFor(count, shard);
+  shard(0, count);
+  return Status::Ok();
+}
+
 }  // namespace dbs::density

@@ -49,6 +49,18 @@ class DensityEstimator {
                                         parallel::BatchExecutor* executor =
                                             nullptr) const;
 
+  // Batch leave-one-out evaluation against EXPLICIT exclusion points:
+  // out[i] = EvaluateExcluding(row i of `rows`, row i of `selves`), where
+  // `selves` is a second row-major array of `count` points. This is the form
+  // the QMC ball integrator consumes: every probe row excludes the mass of
+  // the ball CENTER it was expanded from, not the probe location itself.
+  // Same bitwise/backpressure contract as EvaluateBatch.
+  virtual Status EvaluateExcludingSelvesBatch(const double* rows,
+                                              const double* selves,
+                                              int64_t count, double* out,
+                                              parallel::BatchExecutor*
+                                                  executor = nullptr) const;
+
   // Number of data points the estimator was built over (the approximate
   // integral of Evaluate over the whole domain).
   virtual int64_t total_mass() const = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "util/math.h"
 
@@ -136,6 +138,69 @@ double GridDensity::EvaluateExcluding(data::PointView x,
   int64_t count = CellCount(x);
   if (BucketOf(x) == BucketOf(self) && count > 0) --count;
   return static_cast<double>(count) / cell_volume_;
+}
+
+void GridDensity::BatchRange(const double* rows, const double* selves,
+                             int64_t begin, int64_t end, double* out) const {
+  const int d = dim_;
+  const int64_t n = end - begin;
+  // Sort the range's points by bucket id; Evaluate depends only on the
+  // bucket (hash-colliding cells already share counts), so grouping by it
+  // is exact, and per-point results are order-independent.
+  std::vector<std::pair<int64_t, int64_t>> order(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    order[static_cast<size_t>(i)] = {
+        BucketOf(data::PointView(rows + (begin + i) * d, d)), i};
+  }
+  std::sort(order.begin(), order.end());
+  int64_t g = 0;
+  while (g < n) {
+    const int64_t bucket = order[static_cast<size_t>(g)].first;
+    int64_t h = g + 1;
+    while (h < n && order[static_cast<size_t>(h)].first == bucket) ++h;
+    // One lookup and one division per group — the same operands the scalar
+    // path divides per point, so the same double comes out.
+    const int64_t count = bucket_counts_[static_cast<size_t>(bucket)];
+    const double value = static_cast<double>(count) / cell_volume_;
+    const double excl_value =
+        static_cast<double>(count > 0 ? count - 1 : count) / cell_volume_;
+    for (int64_t k = g; k < h; ++k) {
+      const int64_t i = order[static_cast<size_t>(k)].second;
+      double v = value;
+      if (selves != nullptr &&
+          BucketOf(data::PointView(selves + (begin + i) * d, d)) == bucket) {
+        v = excl_value;
+      }
+      out[begin + i] = v;
+    }
+    g = h;
+  }
+}
+
+Status GridDensity::EvaluateBatch(const double* rows, int64_t count,
+                                  double* out,
+                                  parallel::BatchExecutor* executor) const {
+  return EvaluateExcludingSelvesBatch(rows, /*selves=*/nullptr, count, out,
+                                      executor);
+}
+
+Status GridDensity::EvaluateExcludingBatch(
+    const double* rows, int64_t count, double* out,
+    parallel::BatchExecutor* executor) const {
+  return EvaluateExcludingSelvesBatch(rows, /*selves=*/rows, count, out,
+                                      executor);
+}
+
+Status GridDensity::EvaluateExcludingSelvesBatch(
+    const double* rows, const double* selves, int64_t count, double* out,
+    parallel::BatchExecutor* executor) const {
+  if (count <= 0) return Status::Ok();
+  auto shard = [&](int64_t begin, int64_t end) {
+    BatchRange(rows, selves, begin, end, out);
+  };
+  if (executor != nullptr) return executor->ParallelFor(count, shard);
+  shard(0, count);
+  return Status::Ok();
 }
 
 double GridDensity::SumCountPow(double e) const {

@@ -47,6 +47,23 @@ class HistogramDensity final : public DensityEstimator {
   double EvaluateExcluding(data::PointView x,
                            data::PointView self) const override;
 
+  // Cell-sorted batch overrides: queries sorted by linear cell id, one
+  // count lookup + division per cell group (see grid_density.h — same
+  // design, exact cells instead of hashed buckets). Bitwise equal to the
+  // scalar calls; same executor/backpressure contract as the base class.
+  Status EvaluateBatch(const double* rows, int64_t count, double* out,
+                       parallel::BatchExecutor* executor =
+                           nullptr) const override;
+  Status EvaluateExcludingBatch(const double* rows, int64_t count,
+                                double* out,
+                                parallel::BatchExecutor* executor =
+                                    nullptr) const override;
+  Status EvaluateExcludingSelvesBatch(const double* rows,
+                                      const double* selves, int64_t count,
+                                      double* out,
+                                      parallel::BatchExecutor* executor =
+                                          nullptr) const override;
+
   // Exact count of points in p's cell.
   int64_t CellCount(data::PointView p) const;
 
@@ -57,6 +74,10 @@ class HistogramDensity final : public DensityEstimator {
   HistogramDensity() = default;
 
   int64_t LinearCell(data::PointView p) const;
+  // Cell-sorted evaluation of one contiguous range; `selves` is a parallel
+  // exclusion array indexed like `rows` (nullptr = none).
+  void BatchRange(const double* rows, const double* selves, int64_t begin,
+                  int64_t end, double* out) const;
 
   int dim_ = 0;
   int cells_per_dim_ = 0;

@@ -444,8 +444,8 @@ double Kde::SumTile(const double* p, const double* soa, int64_t tile,
   return sum;
 }
 
-void Kde::BatchRangeIndexed(const double* rows, int64_t begin, int64_t end,
-                            double* out, bool exclude_self) const {
+void Kde::BatchRangeIndexed(const double* rows, const double* selves,
+                            int64_t begin, int64_t end, double* out) const {
   const int d = dim();
   const int64_t n = end - begin;
   // Sort the range's points into grid cells so each cell group pays for its
@@ -502,50 +502,51 @@ void Kde::BatchRangeIndexed(const double* rows, int64_t begin, int64_t end,
     for (int64_t k = g; k < h; ++k) {
       const int64_t i = order[k];
       const double* p = rows + (begin + i) * d;
-      const double sum =
-          SumTile(p, scratch.soa.data(), tile, exclude_self ? p : nullptr);
+      const double sum = SumTile(
+          p, scratch.soa.data(), tile,
+          selves != nullptr ? selves + (begin + i) * d : nullptr);
       out[begin + i] = norm_factor_ * sum;
     }
     g = h;
   }
 }
 
-void Kde::BatchRangeBrute(const double* rows, int64_t begin, int64_t end,
-                          double* out, bool exclude_self) const {
+void Kde::BatchRangeBrute(const double* rows, const double* selves,
+                          int64_t begin, int64_t end, double* out) const {
   const int d = dim();
   const int64_t m = centers_.size();
   for (int64_t i = begin; i < end; ++i) {
     const double* p = rows + i * d;
     const double sum =
-        SumTile(p, centers_soa_.data(), m, exclude_self ? p : nullptr);
+        SumTile(p, centers_soa_.data(), m,
+                selves != nullptr ? selves + i * d : nullptr);
     out[i] = norm_factor_ * sum;
   }
 }
 
 Status Kde::EvaluateBatch(const double* rows, int64_t count, double* out,
                           parallel::BatchExecutor* executor) const {
-  if (count <= 0) return Status::Ok();
-  auto shard = [&](int64_t begin, int64_t end) {
-    if (indexed_) {
-      BatchRangeIndexed(rows, begin, end, out, /*exclude_self=*/false);
-    } else {
-      BatchRangeBrute(rows, begin, end, out, /*exclude_self=*/false);
-    }
-  };
-  if (executor != nullptr) return executor->ParallelFor(count, shard);
-  shard(0, count);
-  return Status::Ok();
+  return EvaluateExcludingSelvesBatch(rows, /*selves=*/nullptr, count, out,
+                                      executor);
 }
 
 Status Kde::EvaluateExcludingBatch(const double* rows, int64_t count,
                                    double* out,
                                    parallel::BatchExecutor* executor) const {
+  // Leave-one-out: every row excludes itself.
+  return EvaluateExcludingSelvesBatch(rows, /*selves=*/rows, count, out,
+                                      executor);
+}
+
+Status Kde::EvaluateExcludingSelvesBatch(
+    const double* rows, const double* selves, int64_t count, double* out,
+    parallel::BatchExecutor* executor) const {
   if (count <= 0) return Status::Ok();
   auto shard = [&](int64_t begin, int64_t end) {
     if (indexed_) {
-      BatchRangeIndexed(rows, begin, end, out, /*exclude_self=*/true);
+      BatchRangeIndexed(rows, selves, begin, end, out);
     } else {
-      BatchRangeBrute(rows, begin, end, out, /*exclude_self=*/true);
+      BatchRangeBrute(rows, selves, begin, end, out);
     }
   };
   if (executor != nullptr) return executor->ParallelFor(count, shard);

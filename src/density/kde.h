@@ -89,6 +89,11 @@ class Kde final : public DensityEstimator {
                                 double* out,
                                 parallel::BatchExecutor* executor =
                                     nullptr) const override;
+  Status EvaluateExcludingSelvesBatch(const double* rows,
+                                      const double* selves, int64_t count,
+                                      double* out,
+                                      parallel::BatchExecutor* executor =
+                                          nullptr) const override;
 
   // Average of Evaluate(c)^a over the kernel centers. Since the centers are
   // a uniform sample of the data, n * MeanDensityPow(a) is an unbiased
@@ -142,10 +147,13 @@ class Kde final : public DensityEstimator {
   // coordinates of a center to skip (nullptr = none).
   double SumTile(const double* p, const double* soa, int64_t tile,
                  const double* exclude) const;
-  void BatchRangeIndexed(const double* rows, int64_t begin, int64_t end,
-                         double* out, bool exclude_self) const;
-  void BatchRangeBrute(const double* rows, int64_t begin, int64_t end,
-                       double* out, bool exclude_self) const;
+  // `selves` is a parallel row-major array of exclusion points (nullptr =
+  // exclude nothing; pass `rows` itself for leave-one-out), indexed like
+  // `rows` — point i excludes selves + i*dim.
+  void BatchRangeIndexed(const double* rows, const double* selves,
+                         int64_t begin, int64_t end, double* out) const;
+  void BatchRangeBrute(const double* rows, const double* selves,
+                       int64_t begin, int64_t end, double* out) const;
   // Kernel sum at p via the grid index, skipping centers whose coordinates
   // equal `exclude` (pass a default PointView to skip nothing).
   double SumIndexed(data::PointView p, data::PointView exclude) const;

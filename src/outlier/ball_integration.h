@@ -50,9 +50,12 @@ class BallIntegrator {
   // Batch form of IntegrateExcludingSelf over `count` row-major points:
   // out[i] is bitwise equal to the per-point call. The center-value method
   // flows through the estimator's batched leave-one-out evaluation (the
-  // detector's hot path); quasi-Monte-Carlo falls back to per-point
-  // integration, sharded across `executor` when one is given. Fails only
-  // with kUnavailable under executor backpressure.
+  // detector's hot path); quasi-Monte-Carlo expands every point into its
+  // `num_samples` Halton probes and pushes the whole probe tile — with the
+  // ball centers as the exclusion rows — through the estimator's batched
+  // EvaluateExcludingSelvesBatch (executor-sharded), then reduces each
+  // point's probes in the scalar path's summation order. Fails only with
+  // kUnavailable under executor backpressure.
   Status IntegrateExcludingSelfBatch(
       const density::DensityEstimator& estimator, const double* rows,
       int64_t count, double radius, double* out,

@@ -167,7 +167,11 @@ Result<OutlierScoreBatchResponse> ModelService::OutlierScores(
   double* scores = response.expected_neighbors.data();
   uint8_t* flags = response.likely_outlier.data();
   // Batched leave-one-out scoring, sharded by the integrator across the
-  // executor; bitwise identical to the per-point calls.
+  // executor; bitwise identical to the per-point calls. Covers BOTH
+  // integration methods: center-value through the estimator's batched
+  // leave-one-out path, quasi-Monte-Carlo through the probe-tile expansion
+  // (each point fans out into its qmc_samples probes and the whole tile is
+  // evaluated batched — see BallIntegrator::IntegrateExcludingSelfBatch).
   Status run = integrator.IntegrateExcludingSelfBatch(
       estimator, request.points.flat().data(), total, request.radius, scores,
       executor_);

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "data/bounds.h"
 #include "data/point_set.h"
 #include "density/grid_density.h"
 #include "density/histogram_density.h"
@@ -99,18 +100,27 @@ void ExpectBitwiseEqual(const std::vector<double>& got,
 }
 
 // Runs the full bitwise contract for one estimator: batch-vs-scalar, the
-// excluding variant, the pre-batching frozen reference, and 1/4-worker
-// executor sharding.
+// excluding variants (self and explicit selves), the pre-batching frozen
+// reference, and 1/4-worker executor sharding.
 void CheckEstimator(const DensityEstimator& estimator,
                     const data::PointSet& queries) {
   const int64_t n = queries.size();
   const double* rows = queries.flat().data();
 
+  // Explicit exclusion rows for the selves variant: each query excludes a
+  // DIFFERENT point (the next query) — the shape the QMC ball integrator
+  // uses, where probes exclude the ball center they fanned out from.
+  data::PointSet selves(queries.dim());
+  for (int64_t i = 0; i < n; ++i) selves.Append(queries[(i + 1) % n]);
+  const double* selves_rows = selves.flat().data();
+
   std::vector<double> scalar(static_cast<size_t>(n));
   std::vector<double> scalar_excl(static_cast<size_t>(n));
+  std::vector<double> scalar_selves(static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
     scalar[i] = estimator.Evaluate(queries[i]);
     scalar_excl[i] = estimator.EvaluateExcluding(queries[i], queries[i]);
+    scalar_selves[i] = estimator.EvaluateExcluding(queries[i], selves[i]);
   }
 
   std::vector<double> batch(static_cast<size_t>(n));
@@ -122,12 +132,25 @@ void CheckEstimator(const DensityEstimator& estimator,
       estimator.EvaluateExcludingBatch(rows, n, batch_excl.data()).ok());
   ExpectBitwiseEqual(batch_excl, scalar_excl);
 
+  std::vector<double> batch_selves(static_cast<size_t>(n));
+  ASSERT_TRUE(estimator
+                  .EvaluateExcludingSelvesBatch(rows, selves_rows, n,
+                                                batch_selves.data())
+                  .ok());
+  ExpectBitwiseEqual(batch_selves, scalar_selves);
+
   // The frozen reference: the default batch implementation over the scalar
   // virtuals is the pre-batching execution.
   ScalarPathOnly frozen(&estimator);
   std::vector<double> reference(static_cast<size_t>(n));
   ASSERT_TRUE(frozen.EvaluateBatch(rows, n, reference.data()).ok());
   ExpectBitwiseEqual(batch, reference);
+  std::vector<double> reference_selves(static_cast<size_t>(n));
+  ASSERT_TRUE(frozen
+                  .EvaluateExcludingSelvesBatch(rows, selves_rows, n,
+                                                reference_selves.data())
+                  .ok());
+  ExpectBitwiseEqual(batch_selves, reference_selves);
 
   for (int workers : {1, 4}) {
     parallel::BatchExecutorOptions pool;
@@ -143,6 +166,13 @@ void CheckEstimator(const DensityEstimator& estimator,
                                             &executor)
                     .ok());
     ExpectBitwiseEqual(sharded_excl, scalar_excl);
+    std::vector<double> sharded_selves(static_cast<size_t>(n));
+    ASSERT_TRUE(estimator
+                    .EvaluateExcludingSelvesBatch(rows, selves_rows, n,
+                                                  sharded_selves.data(),
+                                                  &executor)
+                    .ok());
+    ExpectBitwiseEqual(sharded_selves, scalar_selves);
     executor.Shutdown();
   }
 }
@@ -234,6 +264,72 @@ TEST(DensityBatchEdgeTest, RoundTrippedKdeKeepsTheContract) {
                   .ok());
   ExpectBitwiseEqual(roundtrip, original);
   CheckEstimator(*restored, queries);
+}
+
+// Grid/Histogram cell-sorted overrides on the awkward inputs: queries far
+// outside the fitted bounds (both paths clamp to edge cells) and cells that
+// never saw a point (zero mass). Data is confined to [0, 0.25]^2 while the
+// grids are fitted over explicit [0, 1]^2 bounds, so most cells are empty.
+TEST(GridHistogramEdgeTest, OutOfBoundsAndZeroMassCellsMatchScalar) {
+  data::BoundingBox bounds({0.0, 0.0}, {1.0, 1.0});
+  data::PointSet data(2);
+  Rng rng(55);
+  for (int i = 0; i < 2000; ++i) {
+    data.Append(std::vector<double>{0.25 * rng.NextDouble(),
+                                    0.25 * rng.NextDouble()});
+  }
+  data::PointSet queries(2);
+  // Out-of-bounds on every side, zero-mass interior cells, occupied cells.
+  const double fixed[][2] = {{-3.0, 0.5}, {0.5, -3.0},  {7.0, 7.0},
+                             {-1.0, 2.0}, {0.9, 0.9},   {0.6, 0.6},
+                             {0.1, 0.1},  {0.2, 0.05},  {1.0, 1.0},
+                             {0.0, 0.0},  {-0.0, -0.0}, {0.25, 0.25}};
+  for (const auto& q : fixed) queries.Append(data::PointView(q, 2));
+  for (int i = 0; i < 500; ++i) {
+    queries.Append(std::vector<double>{3.0 * rng.NextDouble() - 1.0,
+                                       3.0 * rng.NextDouble() - 1.0});
+  }
+
+  GridDensityOptions gopts;
+  gopts.cells_per_dim = 8;
+  gopts.bounds = bounds;
+  auto grid = GridDensity::Fit(data, gopts);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_FALSE(grid->hashed());
+  CheckEstimator(*grid, queries);
+
+  // Same grid squeezed into a tiny bucket budget: cells hash and collide —
+  // the contract must hold for merged buckets too.
+  GridDensityOptions hashed_opts = gopts;
+  hashed_opts.memory_budget_bytes = 64;
+  auto hashed = GridDensity::Fit(data, hashed_opts);
+  ASSERT_TRUE(hashed.ok());
+  ASSERT_TRUE(hashed->hashed());
+  CheckEstimator(*hashed, queries);
+
+  HistogramDensityOptions hopts;
+  hopts.cells_per_dim = 8;
+  hopts.bounds = bounds;
+  auto hist = HistogramDensity::Fit(data, hopts);
+  ASSERT_TRUE(hist.ok());
+  CheckEstimator(*hist, queries);
+
+  // Semantic spot checks on the exact (collision-free) backends: a
+  // zero-mass cell evaluates to exactly +0.0, and out-of-bounds queries
+  // clamp onto edge cells — the top-right corner cell is empty while the
+  // bottom-left one holds data.
+  const double empty_cell[2] = {0.9, 0.9};
+  const double far_out[2] = {7.0, 7.0};
+  const double far_neg[2] = {-3.0, -3.0};
+  const double occupied[2] = {0.1, 0.1};
+  EXPECT_EQ(hist->Evaluate(data::PointView(empty_cell, 2)), 0.0);
+  EXPECT_EQ(hist->Evaluate(data::PointView(far_out, 2)), 0.0);
+  EXPECT_EQ(hist->Evaluate(data::PointView(far_neg, 2)),
+            hist->Evaluate(data::PointView(occupied, 2)));
+  EXPECT_GT(hist->Evaluate(data::PointView(occupied, 2)), 0.0);
+  EXPECT_EQ(grid->Evaluate(data::PointView(empty_cell, 2)), 0.0);
+  EXPECT_EQ(grid->Evaluate(data::PointView(far_neg, 2)),
+            grid->Evaluate(data::PointView(occupied, 2)));
 }
 
 TEST(DensityBatchEdgeTest, MeanDensityPowMatchesAcrossExecutors) {
