@@ -178,7 +178,9 @@ Result<ClusteringResult> HierarchicalCluster(
   const int64_t target = std::min<int64_t>(options.num_clusters, n);
 
   // Removes live clusters with at most `max_size` members (but never drops
-  // below `target` live clusters: the survivors are removed largest-last).
+  // below `target` live clusters: victims die smallest-first, index as the
+  // tiebreak, so when the cap truncates elimination the largest small
+  // clusters are the ones that survive).
   auto eliminate_small = [&](int max_size) {
     std::vector<int32_t> victims;
     for (int32_t x = 0; x < static_cast<int32_t>(nodes.size()); ++x) {
@@ -187,6 +189,12 @@ Result<ClusteringResult> HierarchicalCluster(
         victims.push_back(x);
       }
     }
+    std::sort(victims.begin(), victims.end(), [&](int32_t a, int32_t b) {
+      if (nodes[a].members.size() != nodes[b].members.size()) {
+        return nodes[a].members.size() < nodes[b].members.size();
+      }
+      return a < b;
+    });
     bool removed = false;
     for (int32_t v : victims) {
       if (live <= target) break;

@@ -314,6 +314,150 @@ TEST(HierarchicalEliminationTest, CleanDataKeepsClusterStructure) {
   }
 }
 
+TEST(HierarchicalEliminationTest, CapTruncationDropsSmallestClusterFirst) {
+  // Three widely separated tight groups of sizes 3, 1 and 2, laid out so
+  // the size-3 group owns the LOWEST node index. Phase 2 fires when the
+  // three groups are fully merged (live == 3); all of them qualify as
+  // victims (size <= phase2_max_size) but the live > target cap allows
+  // exactly one kill. Victims die smallest-first, so the singleton is the
+  // one eliminated — not the size-3 group that index order would pick.
+  PointSet ps(2, {
+                     // group A (size 3) around (0.1, 0.1): indices 0-2
+                     0.10, 0.10, 0.11, 0.10, 0.10, 0.11,
+                     // group B (size 1) at (0.9, 0.1): index 3
+                     0.90, 0.10,
+                     // group C (size 2) around (0.5, 0.9): indices 4-5
+                     0.50, 0.90, 0.51, 0.90,
+                 });
+  HierarchicalOptions opts;
+  opts.num_clusters = 2;
+  opts.eliminate_outliers = true;
+  opts.phase1_trigger_fraction = 0.0;  // phase 1 never fires
+  opts.phase1_max_size = 0;
+  opts.phase2_trigger_multiple = 1.5;  // fires at live <= 3
+  opts.phase2_max_size = 5;            // every group qualifies
+  auto result = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_clusters(), 2);
+  // The singleton (index 3) is eliminated; both real groups survive whole.
+  EXPECT_EQ(result->labels[3], -1);
+  EXPECT_EQ(result->labels[0], result->labels[1]);
+  EXPECT_EQ(result->labels[1], result->labels[2]);
+  EXPECT_EQ(result->labels[4], result->labels[5]);
+  EXPECT_NE(result->labels[0], result->labels[4]);
+  std::multiset<size_t> sizes;
+  for (const Cluster& c : result->clusters) sizes.insert(c.members.size());
+  EXPECT_EQ(sizes, (std::multiset<size_t>{2, 3}));
+}
+
+// --- Frozen-golden equivalence suite ---------------------------------------
+//
+// These cases pin the FULL agglomeration output — labels, member order,
+// centroid bytes and representative bytes — as one FNV-1a hash per case,
+// captured from the pre-refactor implementation. Any change to the merge
+// sequence, tie-breaking (lowest index wins), elimination order or the
+// representative arithmetic flips the hash. The accelerated agglomeration
+// core must keep every one of these bitwise intact; they are the contract
+// bench/micro_cluster re-checks at larger sizes.
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Hashes labels, then per cluster (in label order): member count, members,
+// centroid bytes, representative bytes.
+uint64_t HashClustering(const ClusteringResult& result) {
+  uint64_t h = 1469598103934665603ull;
+  h = Fnv1a(result.labels.data(),
+            result.labels.size() * sizeof(int32_t), h);
+  for (const Cluster& c : result.clusters) {
+    int64_t count = static_cast<int64_t>(c.members.size());
+    h = Fnv1a(&count, sizeof(count), h);
+    h = Fnv1a(c.members.data(), c.members.size() * sizeof(int64_t), h);
+    h = Fnv1a(c.centroid.data(), c.centroid.size() * sizeof(double), h);
+    h = Fnv1a(c.representatives.flat().data(),
+              c.representatives.flat().size() * sizeof(double), h);
+  }
+  return h;
+}
+
+// `k` Gaussian blobs in d dimensions plus uniform noise (noise exercises
+// the elimination phases in the `elim` variants).
+PointSet GoldenBlobs(int dim, int k, int64_t per_blob, int64_t noise,
+                     double sigma, uint64_t seed) {
+  dbs::Rng rng(seed);
+  PointSet ps(dim);
+  std::vector<double> p(static_cast<size_t>(dim));
+  for (int c = 0; c < k; ++c) {
+    std::vector<double> center(static_cast<size_t>(dim));
+    for (int j = 0; j < dim; ++j) center[j] = rng.NextDouble(0.1, 0.9);
+    for (int64_t i = 0; i < per_blob; ++i) {
+      for (int j = 0; j < dim; ++j) {
+        p[j] = rng.NextGaussian(center[j], sigma);
+      }
+      ps.Append(p);
+    }
+  }
+  for (int64_t i = 0; i < noise; ++i) {
+    for (int j = 0; j < dim; ++j) p[j] = rng.NextDouble();
+    ps.Append(p);
+  }
+  return ps;
+}
+
+// Exact-duplicate points on an integer lattice: inter-point distances
+// collide constantly, so every tie-breaking rule in the merge loop and in
+// the nearest-cluster bookkeeping is load-bearing here.
+PointSet GoldenTies() {
+  PointSet ps(2);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (int y = 0; y < 6; ++y) {
+      for (int x = 0; x < 6; ++x) {
+        ps.Append(std::vector<double>{static_cast<double>(x) * 0.1,
+                                      static_cast<double>(y) * 0.1});
+      }
+    }
+  }
+  return ps;
+}
+
+struct GoldenCase {
+  const char* name;
+  int dim;
+  bool eliminate;
+  bool ties;
+  uint64_t want;
+};
+
+TEST(HierarchicalGoldenTest, FrozenAgglomerationHashes) {
+  const GoldenCase kCases[] = {
+      {"dim1_plain", 1, false, false, 14054575646642538525ull},
+      {"dim1_elim", 1, true, false, 14838618909650839011ull},
+      {"dim2_plain", 2, false, false, 17238667635333364281ull},
+      {"dim2_elim", 2, true, false, 13222001480870681610ull},
+      {"dim5_plain", 5, false, false, 1486783096846529445ull},
+      {"dim5_elim", 5, true, false, 3489065195720459547ull},
+      {"ties_plain", 2, false, true, 8427816399235224162ull},
+      {"ties_elim", 2, true, true, 12718755901037939380ull},
+  };
+  for (const GoldenCase& c : kCases) {
+    PointSet ps = c.ties ? GoldenTies()
+                         : GoldenBlobs(c.dim, 4, 60, 24, 0.02,
+                                       1000 + static_cast<uint64_t>(c.dim));
+    HierarchicalOptions opts;
+    opts.num_clusters = 4;
+    opts.eliminate_outliers = c.eliminate;
+    auto result = HierarchicalCluster(ps, opts);
+    ASSERT_TRUE(result.ok()) << c.name;
+    EXPECT_EQ(HashClustering(*result), c.want) << c.name;
+  }
+}
+
 TEST(HierarchicalTest, NearestClusterByCentroidHelper) {
   PointSet ps = BlobsOnCircle(3, 50, 0.02, 14);
   HierarchicalOptions opts = NoElimination();
