@@ -1,0 +1,236 @@
+// Frozen pre-acceleration agglomeration: every merge picks the closest
+// pair by an O(n) scan over per-cluster nearest pointers, and every
+// nearest-pointer repair rescans all live clusters with the scalar
+// rep-by-rep distance loop.
+//
+// This is the implementation the accelerated core in hierarchical.cc is
+// proven against: tests and bench/micro_cluster require the two to agree
+// bitwise on labels, member order, centroids and representative bytes at
+// every n/dim/options combination. Do not "improve" this file — its value
+// is that it stays exactly as slow and exactly as simple as the original.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cluster/hierarchical.h"
+#include "cluster/hierarchical_internal.h"
+#include "data/distance.h"
+#include "data/kd_tree.h"
+
+namespace dbs::cluster {
+namespace {
+
+// Internal per-cluster state during agglomeration.
+struct Node {
+  bool alive = true;
+  std::vector<int64_t> members;
+  std::vector<double> centroid;      // weighted by member count
+  data::PointSet scattered;          // unshrunk well-scattered points
+  data::PointSet reps;               // scattered points shrunk toward mean
+  int32_t closest = -1;              // nearest live cluster
+  double closest_d2 = 0.0;
+};
+
+// Minimum squared distance between the representative sets of a and b.
+double ClusterDistance2(const Node& a, const Node& b) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < a.reps.size(); ++i) {
+    data::PointView pa = a.reps[i];
+    for (int64_t j = 0; j < b.reps.size(); ++j) {
+      best = std::min(best, data::SquaredL2(pa, b.reps[j]));
+    }
+  }
+  return best;
+}
+
+// Recomputes node.closest by scanning all live clusters.
+void RecomputeClosest(std::vector<Node>& nodes, int32_t id) {
+  Node& node = nodes[id];
+  node.closest = -1;
+  node.closest_d2 = std::numeric_limits<double>::infinity();
+  for (int32_t x = 0; x < static_cast<int32_t>(nodes.size()); ++x) {
+    if (x == id || !nodes[x].alive) continue;
+    double d2 = ClusterDistance2(node, nodes[x]);
+    if (d2 < node.closest_d2) {
+      node.closest_d2 = d2;
+      node.closest = x;
+    }
+  }
+}
+
+}  // namespace
+
+Result<ClusteringResult> HierarchicalClusterReference(
+    const data::PointSet& points, const HierarchicalOptions& options) {
+  DBS_RETURN_IF_ERROR(internal::ValidateHierarchicalArgs(points, options));
+  const int64_t n = points.size();
+  const int dim = points.dim();
+
+  // Initialize one singleton cluster per point.
+  std::vector<Node> nodes(n);
+  for (int64_t i = 0; i < n; ++i) {
+    Node& node = nodes[i];
+    node.members = {i};
+    node.centroid = points[i].ToVector();
+    node.scattered = data::PointSet(dim);
+    node.scattered.Append(points[i]);
+    node.reps = node.scattered;
+  }
+
+  // Initial nearest neighbors via a kd-tree over the points (singleton
+  // clusters have a single representative = the point itself).
+  {
+    data::KdTree tree(&points);
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t nn = tree.Nearest(points[i], /*exclude=*/i);
+      if (nn >= 0) {
+        nodes[i].closest = static_cast<int32_t>(nn);
+        nodes[i].closest_d2 = data::SquaredL2(points[i], points[nn]);
+      }
+    }
+  }
+
+  int64_t live = n;
+  const int64_t target = std::min<int64_t>(options.num_clusters, n);
+
+  // Removes live clusters with at most `max_size` members (but never drops
+  // below `target` live clusters: victims die smallest-first, index as the
+  // tiebreak, so when the cap truncates elimination the largest small
+  // clusters are the ones that survive).
+  auto eliminate_small = [&](int max_size) {
+    std::vector<int32_t> victims;
+    for (int32_t x = 0; x < static_cast<int32_t>(nodes.size()); ++x) {
+      if (nodes[x].alive &&
+          static_cast<int>(nodes[x].members.size()) <= max_size) {
+        victims.push_back(x);
+      }
+    }
+    std::sort(victims.begin(), victims.end(), [&](int32_t a, int32_t b) {
+      if (nodes[a].members.size() != nodes[b].members.size()) {
+        return nodes[a].members.size() < nodes[b].members.size();
+      }
+      return a < b;
+    });
+    bool removed = false;
+    for (int32_t v : victims) {
+      if (live <= target) break;
+      nodes[v].alive = false;
+      nodes[v].members.clear();
+      nodes[v].scattered.Clear();
+      nodes[v].reps.Clear();
+      --live;
+      removed = true;
+    }
+    if (!removed) return;
+    for (int32_t x = 0; x < static_cast<int32_t>(nodes.size()); ++x) {
+      if (nodes[x].alive && nodes[x].closest >= 0 &&
+          !nodes[nodes[x].closest].alive) {
+        RecomputeClosest(nodes, x);
+      }
+    }
+  };
+
+  const int64_t phase1_at = static_cast<int64_t>(
+      options.phase1_trigger_fraction * static_cast<double>(n));
+  const int64_t phase2_at = static_cast<int64_t>(
+      options.phase2_trigger_multiple * static_cast<double>(target));
+  bool phase1_done = !options.eliminate_outliers;
+  bool phase2_done = !options.eliminate_outliers;
+
+  while (live > target) {
+    if (!phase1_done && live <= phase1_at) {
+      phase1_done = true;
+      eliminate_small(options.phase1_max_size);
+      if (live <= target) break;
+    }
+    if (!phase2_done && live <= phase2_at) {
+      phase2_done = true;
+      eliminate_small(options.phase2_max_size);
+      if (live <= target) break;
+    }
+    // Globally closest pair (u, v).
+    int32_t u = -1;
+    double best = std::numeric_limits<double>::infinity();
+    for (int32_t i = 0; i < static_cast<int32_t>(nodes.size()); ++i) {
+      if (nodes[i].alive && nodes[i].closest >= 0 &&
+          nodes[i].closest_d2 < best) {
+        best = nodes[i].closest_d2;
+        u = i;
+      }
+    }
+    DBS_CHECK(u >= 0);
+    int32_t v = nodes[u].closest;
+    DBS_CHECK(v >= 0 && nodes[v].alive);
+
+    // Merge v into u.
+    Node& a = nodes[u];
+    Node& b = nodes[v];
+    double wa = static_cast<double>(a.members.size());
+    double wb = static_cast<double>(b.members.size());
+    for (int j = 0; j < dim; ++j) {
+      a.centroid[j] = (a.centroid[j] * wa + b.centroid[j] * wb) / (wa + wb);
+    }
+    a.members.insert(a.members.end(), b.members.begin(), b.members.end());
+
+    // New scattered set from the union of both clusters' scattered points.
+    data::PointSet pool = a.scattered;
+    pool.AppendAll(b.scattered);
+    a.scattered = internal::SelectScattered(pool, a.centroid,
+                                            options.num_representatives);
+    a.reps = internal::ShrinkToward(a.scattered, a.centroid,
+                                    options.shrink_factor);
+
+    b.alive = false;
+    b.members.clear();
+    b.scattered.Clear();
+    b.reps.Clear();
+    --live;
+
+    // Refresh pointers. First fix every cluster whose closest referenced u
+    // or v — their nearest cluster may have changed arbitrarily. Then scan
+    // once to recompute u's closest, and push the new u-distances into the
+    // other clusters' pointers (the merged cluster's representatives moved,
+    // so it can now be closer to some x than x's recorded closest).
+    for (int32_t x = 0; x < static_cast<int32_t>(nodes.size()); ++x) {
+      if (!nodes[x].alive || x == u) continue;
+      if (nodes[x].closest == u || nodes[x].closest == v) {
+        RecomputeClosest(nodes, x);
+      }
+    }
+    a.closest = -1;
+    a.closest_d2 = std::numeric_limits<double>::infinity();
+    for (int32_t x = 0; x < static_cast<int32_t>(nodes.size()); ++x) {
+      if (!nodes[x].alive || x == u) continue;
+      double d2 = ClusterDistance2(a, nodes[x]);
+      if (d2 < a.closest_d2) {
+        a.closest_d2 = d2;
+        a.closest = x;
+      }
+      if (d2 < nodes[x].closest_d2) {
+        nodes[x].closest_d2 = d2;
+        nodes[x].closest = u;
+      }
+    }
+  }
+
+  ClusteringResult result;
+  result.labels.assign(static_cast<size_t>(n), -1);
+  for (Node& node : nodes) {
+    if (!node.alive) continue;
+    Cluster cluster;
+    cluster.members = std::move(node.members);
+    cluster.centroid = std::move(node.centroid);
+    cluster.representatives = std::move(node.reps);
+    cluster.weight = static_cast<double>(cluster.members.size());
+    int32_t label = static_cast<int32_t>(result.clusters.size());
+    for (int64_t m : cluster.members) {
+      result.labels[static_cast<size_t>(m)] = label;
+    }
+    result.clusters.push_back(std::move(cluster));
+  }
+  return result;
+}
+
+}  // namespace dbs::cluster

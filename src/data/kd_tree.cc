@@ -104,6 +104,52 @@ void KdTree::NearestImpl(int32_t node_id, PointView query, int64_t exclude,
   }
 }
 
+KdTree::GroupNearest KdTree::NearestExcludingGroup(
+    PointView query, const std::vector<int32_t>& group_of,
+    int32_t exclude_group, const std::vector<uint8_t>& group_active) const {
+  GroupNearest best;
+  if (items_.empty()) return best;
+  DBS_DCHECK(static_cast<int64_t>(group_of.size()) == points_->size());
+  NearestGroupImpl(root_, query, group_of, exclude_group, group_active,
+                   best);
+  return best;
+}
+
+void KdTree::NearestGroupImpl(int32_t node_id, PointView query,
+                              const std::vector<int32_t>& group_of,
+                              int32_t exclude_group,
+                              const std::vector<uint8_t>& group_active,
+                              GroupNearest& best) const {
+  const Node& node = nodes_[node_id];
+  if (node.axis < 0) {
+    for (int32_t i = node.begin; i < node.end; ++i) {
+      int64_t idx = items_[i];
+      int32_t group = group_of[static_cast<size_t>(idx)];
+      if (group == exclude_group ||
+          group_active[static_cast<size_t>(group)] == 0) {
+        continue;
+      }
+      double d2 = SquaredL2(query, (*points_)[idx]);
+      if (d2 < best.d2 || (d2 == best.d2 && group < best.group)) {
+        best.d2 = d2;
+        best.group = group;
+        best.index = idx;
+      }
+    }
+    return;
+  }
+  double diff = query[node.axis] - node.split;
+  int32_t near = diff < 0 ? node.left : node.right;
+  int32_t far = diff < 0 ? node.right : node.left;
+  NearestGroupImpl(near, query, group_of, exclude_group, group_active, best);
+  // `<=`, not `<`: an equal-distance point beyond the splitting plane can
+  // still win the tie on a smaller group id.
+  if (diff * diff <= best.d2) {
+    NearestGroupImpl(far, query, group_of, exclude_group, group_active,
+                     best);
+  }
+}
+
 std::vector<int64_t> KdTree::KNearest(PointView query, int k,
                                       int64_t exclude) const {
   std::vector<HeapEntry> heap;

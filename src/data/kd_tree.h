@@ -13,6 +13,7 @@
 #define DBS_DATA_KD_TREE_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "data/distance.h"
@@ -47,6 +48,26 @@ class KdTree {
   int64_t CountWithinRadius(PointView query, double radius,
                             int64_t cap = -1) const;
 
+  // Result of a group-filtered nearest query: the winning point, the group
+  // it belongs to and the squared L2 distance. index < 0 when no point
+  // passed the filter.
+  struct GroupNearest {
+    int64_t index = -1;
+    int32_t group = -1;
+    double d2 = std::numeric_limits<double>::infinity();
+  };
+
+  // Nearest point among those whose group (`group_of[point_index]`) is
+  // active (`group_active[group] != 0`) and differs from `exclude_group`.
+  // Distance ties resolve toward the SMALLEST group id — the agglomerative
+  // clusterer's "lowest cluster index wins" contract — so the far-subtree
+  // prune uses `<=` rather than `<` (an equal-distance point in the far
+  // half may carry a smaller group id). `group_of` must have one entry per
+  // point of the indexed PointSet; `group_active` one entry per group id.
+  GroupNearest NearestExcludingGroup(
+      PointView query, const std::vector<int32_t>& group_of,
+      int32_t exclude_group, const std::vector<uint8_t>& group_active) const;
+
   // Metric-general variants: for any of L2/L1/Linf the per-axis splitting-
   // plane distance lower-bounds the metric distance, so the same tree
   // prunes correctly; only the leaf-level distance changes.
@@ -71,6 +92,12 @@ class KdTree {
 
   void NearestImpl(int32_t node, PointView query, int64_t exclude,
                    double& best_d2, int64_t& best_idx) const;
+
+  void NearestGroupImpl(int32_t node, PointView query,
+                        const std::vector<int32_t>& group_of,
+                        int32_t exclude_group,
+                        const std::vector<uint8_t>& group_active,
+                        GroupNearest& best) const;
 
   struct HeapEntry {
     double d2;

@@ -1,7 +1,10 @@
 #include "outlier/exact_detector.h"
 
+#include <vector>
+
 #include "data/distance.h"
 #include "data/kd_tree.h"
+#include "parallel/batch_executor.h"
 
 namespace dbs::outlier {
 namespace {
@@ -27,20 +30,41 @@ Status ValidateParams(const data::PointSet& points,
 
 Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
                                           const DbOutlierParams& params) {
+  return DetectOutliersExact(points, params, ExactDetectorOptions{});
+}
+
+Result<OutlierReport> DetectOutliersExact(
+    const data::PointSet& points, const DbOutlierParams& params,
+    const ExactDetectorOptions& options) {
   DBS_RETURN_IF_ERROR(ValidateParams(points, params));
   const int64_t n = points.size();
   const int64_t p = params.NeighborBound(n);
 
   data::KdTree tree(&points);
+  // Per-point neighbor counts land in disjoint slots, so the counting pass
+  // shards freely; the report is assembled afterwards in index order,
+  // making the output identical at any worker count.
+  std::vector<int64_t> neighbor_counts(static_cast<size_t>(n));
+  auto count_range = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      // Count includes the point itself; abort once p+1 OTHER neighbors
+      // are certain (i.e. p+2 counting self).
+      int64_t count = tree.CountWithinRadiusMetric(points[i], params.radius,
+                                                   params.metric,
+                                                   /*cap=*/p + 1);
+      neighbor_counts[static_cast<size_t>(i)] = count - 1;  // exclude self
+    }
+  };
+  if (options.executor != nullptr) {
+    DBS_RETURN_IF_ERROR(options.executor->ParallelFor(n, count_range));
+  } else {
+    count_range(0, n);
+  }
+
   OutlierReport report;
   report.passes = 1;
   for (int64_t i = 0; i < n; ++i) {
-    // Count includes the point itself; abort once p+1 OTHER neighbors are
-    // certain (i.e. p+2 counting self).
-    int64_t count = tree.CountWithinRadiusMetric(points[i], params.radius,
-                                                 params.metric,
-                                                 /*cap=*/p + 1);
-    int64_t neighbors = count - 1;  // exclude self
+    int64_t neighbors = neighbor_counts[static_cast<size_t>(i)];
     if (neighbors <= p) {
       report.outlier_indices.push_back(i);
       report.neighbor_counts.push_back(neighbors);

@@ -14,11 +14,28 @@
 #include "outlier/db_outlier.h"
 #include "util/status.h"
 
+namespace dbs::parallel {
+class BatchExecutor;
+}  // namespace dbs::parallel
+
 namespace dbs::outlier {
+
+struct ExactDetectorOptions {
+  // Optional worker pool (not owned) for the per-point counting pass.
+  // Neighbor counts are independent per point and shards write disjoint
+  // slots of a flat count array; the report is then assembled in one
+  // sequential ascending sweep, so output is identical with 0, 1 or N
+  // workers. kUnavailable under executor backpressure.
+  parallel::BatchExecutor* executor = nullptr;
+};
 
 // Exact detection with a kd-tree (includes building the tree).
 Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
                                           const DbOutlierParams& params);
+
+Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
+                                          const DbOutlierParams& params,
+                                          const ExactDetectorOptions& options);
 
 // Exact detection by nested-loop scan with early termination.
 Result<OutlierReport> DetectOutliersNestedLoop(const data::PointSet& points,

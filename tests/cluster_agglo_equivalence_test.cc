@@ -1,0 +1,171 @@
+// Bitwise equivalence of the accelerated agglomeration core against the
+// frozen reference implementation (DESIGN.md §11).
+//
+// The frozen goldens in cluster_hierarchical_test.cc pin eight specific
+// hashes forever; this suite sweeps a randomized grid of sizes, dims,
+// elimination settings and executor worker counts and requires the two
+// implementations to agree on every byte that HierarchicalCluster
+// publishes: labels, member order, centroid bits, and representative bits.
+// Comparison is on the raw double bit patterns, so even a signed-zero or
+// last-ulp divergence fails.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/hierarchical.h"
+#include "data/point_set.h"
+#include "parallel/batch_executor.h"
+#include "util/rng.h"
+
+namespace dbs::cluster {
+namespace {
+
+using data::PointSet;
+
+// `k` Gaussian blobs in d dimensions plus a sprinkle of uniform noise
+// (noise exercises the elimination phases and chain merges).
+PointSet Blobs(int dim, int k, int64_t per_blob, int64_t noise,
+               double sigma, uint64_t seed) {
+  dbs::Rng rng(seed);
+  PointSet ps(dim);
+  std::vector<double> p(static_cast<size_t>(dim));
+  for (int b = 0; b < k; ++b) {
+    std::vector<double> center(static_cast<size_t>(dim));
+    for (int j = 0; j < dim; ++j) center[j] = rng.NextDouble(0.1, 0.9);
+    for (int64_t i = 0; i < per_blob; ++i) {
+      for (int j = 0; j < dim; ++j) {
+        p[static_cast<size_t>(j)] =
+            rng.NextGaussian(center[static_cast<size_t>(j)], sigma);
+      }
+      ps.Append(p);
+    }
+  }
+  for (int64_t i = 0; i < noise; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      p[static_cast<size_t>(j)] = rng.NextDouble();
+    }
+    ps.Append(p);
+  }
+  return ps;
+}
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+// Full bitwise comparison of two clustering results.
+void ExpectBitwiseEqual(const ClusteringResult& got,
+                        const ClusteringResult& want) {
+  ASSERT_EQ(got.labels, want.labels);
+  ASSERT_EQ(got.clusters.size(), want.clusters.size());
+  for (size_t c = 0; c < want.clusters.size(); ++c) {
+    SCOPED_TRACE(c);
+    const Cluster& g = got.clusters[c];
+    const Cluster& w = want.clusters[c];
+    EXPECT_EQ(g.members, w.members);
+    EXPECT_TRUE(SameBits(g.centroid, w.centroid));
+    ASSERT_EQ(g.representatives.size(), w.representatives.size());
+    ASSERT_EQ(g.representatives.dim(), w.representatives.dim());
+    EXPECT_TRUE(SameBits(g.representatives.flat(), w.representatives.flat()));
+  }
+}
+
+struct Case {
+  int64_t n_per_blob;
+  int64_t noise;
+  int dim;
+  int k_blobs;
+  int num_clusters;
+  bool eliminate;
+};
+
+class AggloEquivalenceTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(AggloEquivalenceTest, MatchesFrozenReferenceBitwise) {
+  const Case& c = GetParam();
+  PointSet ps = Blobs(c.dim, c.k_blobs, c.n_per_blob, c.noise,
+                      /*sigma=*/0.03,
+                      /*seed=*/0x5eedULL + static_cast<uint64_t>(
+                          c.dim * 1000 + c.n_per_blob + c.noise));
+  HierarchicalOptions opts;
+  opts.num_clusters = c.num_clusters;
+  opts.eliminate_outliers = c.eliminate;
+
+  auto ref = HierarchicalClusterReference(ps, opts);
+  ASSERT_TRUE(ref.ok()) << ref.status().message();
+
+  // Single-threaded accelerated path.
+  auto fast = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(fast.ok()) << fast.status().message();
+  ExpectBitwiseEqual(*fast, *ref);
+
+  // Executor-sharded path must not change a single bit either.
+  for (int workers : {1, 4}) {
+    SCOPED_TRACE(workers);
+    parallel::BatchExecutorOptions eopts;
+    eopts.num_workers = workers;
+    eopts.min_shard = 16;  // force real sharding at these sizes
+    parallel::BatchExecutor executor(eopts);
+    HierarchicalOptions popts = opts;
+    popts.executor = &executor;
+    auto par = HierarchicalCluster(ps, popts);
+    ASSERT_TRUE(par.ok()) << par.status().message();
+    ExpectBitwiseEqual(*par, *ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AggloEquivalenceTest,
+    ::testing::Values(Case{12, 4, 1, 3, 3, false},
+                      Case{12, 4, 1, 3, 3, true},
+                      Case{25, 10, 2, 4, 4, false},
+                      Case{25, 10, 2, 4, 4, true},
+                      Case{40, 15, 3, 5, 5, true},
+                      Case{30, 12, 5, 4, 4, false},
+                      Case{30, 12, 5, 4, 4, true},
+                      Case{80, 20, 2, 6, 6, true}));
+
+// Duplicate points force distance ties everywhere; the tie-breaking rule
+// (lowest cluster index wins) must agree between the implementations.
+TEST(AggloEquivalenceTest, ExactDuplicatesTieBreakIdentically) {
+  PointSet ps(2);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      std::vector<double> p{0.1 * c, 0.1 * r};
+      ps.Append(p);
+      ps.Append(p);  // exact duplicate
+    }
+  }
+  for (bool eliminate : {false, true}) {
+    SCOPED_TRACE(eliminate);
+    HierarchicalOptions opts;
+    opts.num_clusters = 5;
+    opts.eliminate_outliers = eliminate;
+    auto ref = HierarchicalClusterReference(ps, opts);
+    ASSERT_TRUE(ref.ok());
+    auto fast = HierarchicalCluster(ps, opts);
+    ASSERT_TRUE(fast.ok());
+    ExpectBitwiseEqual(*fast, *ref);
+  }
+}
+
+// n <= num_clusters short-circuits before any merge; both paths must agree
+// on the trivial result too.
+TEST(AggloEquivalenceTest, FewerPointsThanClustersBitwise) {
+  PointSet ps = Blobs(2, 1, 5, 0, 0.05, 99);
+  HierarchicalOptions opts;
+  opts.num_clusters = 8;
+  auto ref = HierarchicalClusterReference(ps, opts);
+  auto fast = HierarchicalCluster(ps, opts);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(fast.ok());
+  ExpectBitwiseEqual(*fast, *ref);
+}
+
+}  // namespace
+}  // namespace dbs::cluster

@@ -189,5 +189,91 @@ TEST(KdTreeTest, KNearestWithKLargerThanTree) {
   EXPECT_EQ(got.size(), 5u);
 }
 
+// Brute-force oracle for NearestExcludingGroup with the same lexicographic
+// (d2, group) winner rule.
+KdTree::GroupNearest BruteGroupNearest(const PointSet& ps, PointView q,
+                                       const std::vector<int32_t>& group_of,
+                                       int32_t exclude_group,
+                                       const std::vector<uint8_t>& active) {
+  KdTree::GroupNearest best;
+  for (int64_t i = 0; i < ps.size(); ++i) {
+    int32_t g = group_of[static_cast<size_t>(i)];
+    if (g == exclude_group || active[static_cast<size_t>(g)] == 0) continue;
+    double d2 = SquaredL2(q, ps[i]);
+    if (d2 < best.d2 || (d2 == best.d2 && g < best.group)) {
+      best.d2 = d2;
+      best.group = g;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+TEST(KdTreeGroupTest, MatchesBruteForceWithExclusionAndFilter) {
+  const int32_t kGroups = 13;
+  PointSet ps = MakeRandomPoints(400, 3, 91);
+  std::vector<int32_t> group_of(400);
+  for (int64_t i = 0; i < 400; ++i) {
+    group_of[static_cast<size_t>(i)] = static_cast<int32_t>(i % kGroups);
+  }
+  std::vector<uint8_t> active(kGroups, 1);
+  active[4] = 0;  // a dead group must never win
+  active[9] = 0;
+  KdTree tree(&ps);
+  for (int64_t i = 0; i < 60; ++i) {
+    int32_t self = group_of[static_cast<size_t>(i)];
+    KdTree::GroupNearest got =
+        tree.NearestExcludingGroup(ps[i], group_of, self, active);
+    KdTree::GroupNearest want =
+        BruteGroupNearest(ps, ps[i], group_of, self, active);
+    EXPECT_EQ(got.group, want.group);
+    EXPECT_EQ(got.d2, want.d2);
+    EXPECT_NE(got.group, self);
+    EXPECT_NE(got.group, 4);
+    EXPECT_NE(got.group, 9);
+  }
+}
+
+TEST(KdTreeGroupTest, DistanceTiesResolveToSmallestGroup) {
+  // Two points equidistant from the query on opposite sides of the split;
+  // the far-subtree `<=` descend must still find the smaller group id.
+  PointSet ps(1);
+  for (int i = 0; i < 40; ++i) {
+    ps.Append(std::vector<double>{i < 20 ? 0.0 : 2.0});
+  }
+  std::vector<int32_t> group_of(40);
+  for (int64_t i = 0; i < 40; ++i) {
+    // Left pile gets odd high groups, right pile even low ones, so the
+    // winner must come from the far side of whatever subtree is searched
+    // first.
+    group_of[static_cast<size_t>(i)] =
+        i < 20 ? static_cast<int32_t>(20 + i) : static_cast<int32_t>(i - 20);
+  }
+  std::vector<uint8_t> active(40, 1);
+  KdTree tree(&ps);
+  PointSet q(1, {1.0});  // exactly 1.0 from both piles
+  KdTree::GroupNearest got =
+      tree.NearestExcludingGroup(q[0], group_of, /*exclude_group=*/-1,
+                                 active);
+  EXPECT_EQ(got.d2, 1.0);
+  EXPECT_EQ(got.group, 0);
+}
+
+TEST(KdTreeGroupTest, AllFilteredReturnsEmpty) {
+  PointSet ps = MakeRandomPoints(30, 2, 7);
+  std::vector<int32_t> group_of(30, 0);
+  std::vector<uint8_t> active(1, 1);
+  KdTree tree(&ps);
+  KdTree::GroupNearest got =
+      tree.NearestExcludingGroup(ps[0], group_of, /*exclude_group=*/0,
+                                 active);
+  EXPECT_EQ(got.index, -1);
+  EXPECT_EQ(got.group, -1);
+  active[0] = 0;
+  got = tree.NearestExcludingGroup(ps[0], group_of, /*exclude_group=*/-1,
+                                   active);
+  EXPECT_EQ(got.index, -1);
+}
+
 }  // namespace
 }  // namespace dbs::data

@@ -10,6 +10,7 @@
 #include "outlier/ball_integration.h"
 #include "outlier/exact_detector.h"
 #include "outlier/kde_detector.h"
+#include "parallel/batch_executor.h"
 #include "util/math.h"
 #include "util/rng.h"
 
@@ -128,6 +129,48 @@ TEST(ExactDetectorTest, FindsPlantedOutliers) {
   }
   // The dense cloud (5000 points in a 0.2 square) contributes none.
   EXPECT_EQ(report->outlier_indices.size(), w.outlier_indices.size());
+}
+
+TEST(ExactDetectorTest, ShardedCountingMatchesSequentialExactly) {
+  PlantedWorkload w = MakePlanted(3000, 6, 11);
+  DbOutlierParams params;
+  params.radius = 0.1;
+  params.max_neighbors = 5;
+  auto sequential = DetectOutliersExact(w.points, params);
+  ASSERT_TRUE(sequential.ok());
+  // 0 workers (no executor) already covered by `sequential`; 1 and 4
+  // workers must produce the identical report.
+  for (int workers : {1, 4}) {
+    SCOPED_TRACE(workers);
+    parallel::BatchExecutorOptions pool;
+    pool.num_workers = workers;
+    pool.min_shard = 64;  // force real sharding at this size
+    parallel::BatchExecutor executor(pool);
+    ExactDetectorOptions options;
+    options.executor = &executor;
+    auto sharded = DetectOutliersExact(w.points, params, options);
+    ASSERT_TRUE(sharded.ok());
+    EXPECT_EQ(sharded->outlier_indices, sequential->outlier_indices);
+    EXPECT_EQ(sharded->neighbor_counts, sequential->neighbor_counts);
+    EXPECT_EQ(sharded->candidates_checked, sequential->candidates_checked);
+    EXPECT_EQ(sharded->passes, sequential->passes);
+  }
+}
+
+TEST(ExactDetectorTest, ShardedCountingPropagatesBackpressure) {
+  PlantedWorkload w = MakePlanted(2000, 2, 13);
+  DbOutlierParams params;
+  params.radius = 0.1;
+  params.max_neighbors = 5;
+  parallel::BatchExecutorOptions pool;
+  pool.num_workers = 1;
+  pool.min_shard = 1;
+  parallel::BatchExecutor executor(pool);
+  executor.Shutdown();  // every submit now fails
+  ExactDetectorOptions options;
+  options.executor = &executor;
+  auto report = DetectOutliersExact(w.points, params, options);
+  EXPECT_FALSE(report.ok());
 }
 
 TEST(BallIntegratorTest, CenterValueUsesBallVolume) {

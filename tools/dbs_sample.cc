@@ -2,7 +2,7 @@
 //
 //   dbs_sample in=data.dbsf out=sample.dbsf [a=1.0] [size=2000]
 //              [kernels=1000] [bandwidth_scale=1.0] [mode=twopass|onepass|
-//              stream|uniform] [seed=1]
+//              stream|uniform] [seed=1] [double_buffer=1]
 //
 // Streams the input (never materializes it), writes the sampled points to
 // `out`, and prints the sample statistics: size, normalizer, clamped count
@@ -34,17 +34,23 @@ int main(int argc, char** argv) {
   std::string model_in = flags.GetString("model", "");
   std::string model_out = flags.GetString("save_model", "");
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  // Overlap file reads with compute (on by default; double_buffer=0 forces
+  // the synchronous scan). Batches are delivered in the same order either
+  // way, so the sample bytes are identical.
+  bool double_buffer = flags.GetInt("double_buffer", 1) != 0;
   if (!flags.AllKnown()) return 2;
   if (in.empty() || out.empty()) {
     std::fprintf(stderr,
                  "usage: dbs_sample in=data.dbsf out=sample.dbsf [a=] "
                  "[size=] [kernels=] [bandwidth_scale=] "
                  "[mode=twopass|onepass|stream|uniform] "
-                 "[model=est.dbsk] [save_model=est.dbsk] [seed=]\n");
+                 "[model=est.dbsk] [save_model=est.dbsk] [seed=] "
+                 "[double_buffer=0|1]\n");
     return 2;
   }
 
-  auto scan_result = dbs::data::FileScan::Open(in, /*batch_rows=*/8192);
+  auto scan_result =
+      dbs::data::FileScan::Open(in, /*batch_rows=*/8192, double_buffer);
   if (!scan_result.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  scan_result.status().ToString().c_str());
