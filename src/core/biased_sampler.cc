@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "util/math.h"
@@ -26,6 +27,24 @@ double BiasedSampler::InclusionProbability(double density,
 
 Result<BiasedSample> BiasedSampler::Run(
     data::DataScan& scan, const density::DensityEstimator& estimator) const {
+  // The two-pass algorithm is the single-shard instance of the partial
+  // pipeline (DESIGN.md §12): pass 1 is NormalizerPartial over the whole
+  // range, pass 2 SampleWithNormalizer — so the sharded path at shards=1 is
+  // this function, bitwise.
+  ShardInfo info;
+  info.total_rows = scan.size();
+  DBS_ASSIGN_OR_RETURN(PartialNormalizer partial,
+                       NormalizerPartial(scan, estimator, info));
+  DBS_ASSIGN_OR_RETURN(double k_a, FinalizeNormalizer(partial));
+  if (k_a <= 0) {
+    return Status::Internal("normalizer k_a is not positive");
+  }
+  return SampleWithNormalizer(scan, estimator, k_a);
+}
+
+Result<PartialNormalizer> BiasedSampler::NormalizerPartial(
+    data::DataScan& scan, const density::DensityEstimator& estimator,
+    const ShardInfo& info) const {
   if (options_.target_size <= 0) {
     return Status::InvalidArgument("target_size must be positive");
   }
@@ -33,18 +52,26 @@ Result<BiasedSample> BiasedSampler::Run(
     return Status::InvalidArgument(
         "estimator dimensionality does not match the scan");
   }
-  const int64_t n = scan.size();
-  if (n == 0) {
+  if (info.total_rows == 0) {
     return Status::InvalidArgument("cannot sample an empty dataset");
   }
+  DBS_RETURN_IF_ERROR(ValidateShardInfo(info));
+  if (scan.size() !=
+      ShardRowRange(info.total_rows, info.num_shards, info.shard).size()) {
+    return Status::InvalidArgument(
+        "scan does not cover the shard's row range");
+  }
 
-  // Pass 1: exact normalizer k_a = sum over points of f'(x). Densities are
-  // computed batch-at-a-time (sharded when an executor is configured); the
-  // accumulation stays one sequential sweep in scan order, so k_a is
-  // bitwise independent of the worker count.
+  // Shard slice of pass 1: k_a contribution = sum of f'(x) over the shard's
+  // rows. Densities are computed batch-at-a-time (sharded when an executor
+  // is configured); the accumulation stays one sequential sweep in scan
+  // order, so each part is bitwise independent of the worker count.
+  NormalizerShardPart part;
+  part.shard = info.shard;
+  part.num_shards = info.num_shards;
+  part.total_rows = info.total_rows;
   const double floor =
       options_.density_floor_fraction * estimator.AverageDensity();
-  double k_a = 0.0;
   std::vector<double> densities;
   scan.Reset();
   data::ScanBatch batch;
@@ -53,13 +80,52 @@ Result<BiasedSample> BiasedSampler::Run(
     DBS_RETURN_IF_ERROR(estimator.EvaluateBatch(
         batch.rows, batch.count, densities.data(), options_.executor));
     for (int64_t i = 0; i < batch.count; ++i) {
-      k_a += FlooredDensityPow(densities[static_cast<size_t>(i)], floor);
+      part.k_a += FlooredDensityPow(densities[static_cast<size_t>(i)], floor);
     }
+    part.rows += batch.count;
   }
-  if (k_a <= 0) {
-    return Status::Internal("normalizer k_a is not positive");
+
+  PartialNormalizer partial;
+  partial.parts.push_back(part);
+  return partial;
+}
+
+Result<double> BiasedSampler::FinalizeNormalizer(
+    const PartialNormalizer& partial) const {
+  if (partial.parts.empty()) {
+    return Status::InvalidArgument("partial normalizer state has no shards");
   }
-  return SampleWithNormalizer(scan, estimator, k_a);
+  if (static_cast<int64_t>(partial.parts.size()) !=
+      partial.parts.front().num_shards) {
+    return Status::InvalidArgument(
+        "partial normalizer state is incomplete: not every shard is present");
+  }
+  double k_a = 0.0;
+  for (size_t i = 0; i < partial.parts.size(); ++i) {
+    if (partial.parts[i].shard != static_cast<int64_t>(i)) {
+      return Status::InvalidArgument(
+          "partial normalizer state is incomplete: not every shard is "
+          "present");
+    }
+    k_a += partial.parts[i].k_a;
+  }
+  return k_a;
+}
+
+Result<PartialNormalizer> MergePartialNormalizers(PartialNormalizer a,
+                                                  PartialNormalizer b) {
+  DBS_RETURN_IF_ERROR(MergeShardParts(&a.parts, std::move(b.parts)));
+  return a;
+}
+
+Result<PartialSample> MergePartialSamples(PartialSample a, PartialSample b) {
+  if (!a.parts.empty() && !b.parts.empty() &&
+      a.parts.front().points.dim() != b.parts.front().points.dim()) {
+    return Status::InvalidArgument(
+        "cannot merge partial samples of different dimensionality");
+  }
+  DBS_RETURN_IF_ERROR(MergeShardParts(&a.parts, std::move(b.parts)));
+  return a;
 }
 
 Result<BiasedSample> BiasedSampler::Run(
@@ -102,23 +168,50 @@ Result<BiasedSample> BiasedSampler::RunOnePass(const data::PointSet& points,
 Result<BiasedSample> BiasedSampler::SampleWithNormalizer(
     data::DataScan& scan, const density::DensityEstimator& estimator,
     double normalizer) const {
+  ShardInfo info;
+  info.total_rows = scan.size();
+  DBS_ASSIGN_OR_RETURN(PartialSample partial,
+                       SamplePartial(scan, estimator, normalizer, info));
+  return FinalizeSample(std::move(partial), normalizer);
+}
+
+Result<PartialSample> BiasedSampler::SamplePartial(
+    data::DataScan& scan, const density::DensityEstimator& estimator,
+    double normalizer, const ShardInfo& info) const {
+  if (scan.dim() != estimator.dim()) {
+    return Status::InvalidArgument(
+        "estimator dimensionality does not match the scan");
+  }
+  DBS_RETURN_IF_ERROR(ValidateShardInfo(info));
+  const RowRange range =
+      ShardRowRange(info.total_rows, info.num_shards, info.shard);
+  if (scan.size() != range.size()) {
+    return Status::InvalidArgument(
+        "scan does not cover the shard's row range");
+  }
   const int dim = scan.dim();
-  const int64_t n = scan.size();
   const double b = static_cast<double>(options_.target_size);
   const double floor =
       options_.density_floor_fraction * estimator.AverageDensity();
 
-  BiasedSample sample;
-  sample.points = data::PointSet(dim);
-  sample.normalizer = normalizer;
-  sample.dataset_size = n;
-  sample.points.Reserve(options_.target_size + options_.target_size / 4);
+  SampleShardPart part;
+  part.shard = info.shard;
+  part.num_shards = info.num_shards;
+  part.total_rows = info.total_rows;
+  part.points = data::PointSet(dim);
+  // Reserve the shard's expected share of the sample (plus slack).
+  const int64_t expected =
+      info.total_rows > 0
+          ? options_.target_size * range.size() / info.total_rows
+          : options_.target_size;
+  part.points.Reserve(expected + expected / 4 + 16);
 
   // Densities for the whole scan batch first (parallel, pure per-point
   // arithmetic), then one sequential RNG sweep over the precomputed values
   // — the draw stream never depends on how the densities were computed, so
-  // the sample is bitwise reproducible across worker counts.
-  Rng rng(options_.seed);
+  // the sample is bitwise reproducible across worker counts. Each shard
+  // draws from its own ShardSeed stream (shard 0 = the legacy stream).
+  Rng rng(ShardSeed(options_.seed, info.shard));
   std::vector<double> densities;
   scan.Reset();
   data::ScanBatch batch;
@@ -133,14 +226,57 @@ Result<BiasedSample> BiasedSampler::SampleWithNormalizer(
       double p = b / normalizer * fa;
       if (p >= 1.0) {
         p = 1.0;
-        ++sample.clamped_count;
+        ++part.clamped_count;
       }
       if (rng.NextBernoulli(p)) {
-        sample.points.Append(x);
-        sample.inclusion_probs.push_back(p);
-        sample.densities.push_back(f);
+        part.points.Append(x);
+        part.inclusion_probs.push_back(p);
+        part.densities.push_back(f);
       }
     }
+    part.rows += batch.count;
+  }
+
+  PartialSample partial;
+  partial.parts.push_back(std::move(part));
+  return partial;
+}
+
+Result<BiasedSample> BiasedSampler::FinalizeSample(PartialSample partial,
+                                                   double normalizer) const {
+  if (partial.parts.empty()) {
+    return Status::InvalidArgument("partial sample state has no shards");
+  }
+  if (static_cast<int64_t>(partial.parts.size()) !=
+      partial.parts.front().num_shards) {
+    return Status::InvalidArgument(
+        "partial sample state is incomplete: not every shard is present");
+  }
+  BiasedSample sample;
+  sample.normalizer = normalizer;
+  sample.dataset_size = partial.parts.front().total_rows;
+  // Ascending shard order — per-shard accept lists concatenate in row order.
+  sample.points = std::move(partial.parts.front().points);
+  sample.inclusion_probs = std::move(partial.parts.front().inclusion_probs);
+  sample.densities = std::move(partial.parts.front().densities);
+  sample.clamped_count = partial.parts.front().clamped_count;
+  if (partial.parts.front().shard != 0) {
+    return Status::InvalidArgument(
+        "partial sample state is incomplete: not every shard is present");
+  }
+  for (size_t i = 1; i < partial.parts.size(); ++i) {
+    SampleShardPart& part = partial.parts[i];
+    if (part.shard != static_cast<int64_t>(i)) {
+      return Status::InvalidArgument(
+          "partial sample state is incomplete: not every shard is present");
+    }
+    sample.points.AppendAll(part.points);
+    sample.inclusion_probs.insert(sample.inclusion_probs.end(),
+                                  part.inclusion_probs.begin(),
+                                  part.inclusion_probs.end());
+    sample.densities.insert(sample.densities.end(), part.densities.begin(),
+                            part.densities.end());
+    sample.clamped_count += part.clamped_count;
   }
   return sample;
 }

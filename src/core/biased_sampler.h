@@ -42,13 +42,57 @@
 
 #include <cstdint>
 
+#include <vector>
+
 #include "core/sample.h"
 #include "data/dataset.h"
 #include "density/density_estimator.h"
 #include "density/kde.h"
+#include "util/shard.h"
 #include "util/status.h"
 
 namespace dbs::core {
+
+// One shard's contribution to the exact normalization pass: the sequential
+// sum of f'(x) over the shard's rows, in scan order.
+struct NormalizerShardPart {
+  int64_t shard = 0;
+  int64_t num_shards = 1;
+  int64_t total_rows = 0;
+  int64_t rows = 0;
+  double k_a = 0.0;
+};
+
+// Mergeable partial state of the sampler's k_a pass (DESIGN.md §12). Merging
+// is a disjoint union; the floating-point sum happens once, in ascending
+// shard order, at FinalizeNormalizer time.
+struct PartialNormalizer {
+  std::vector<NormalizerShardPart> parts;
+};
+
+// One shard's contribution to the sampling pass: the rows the shard's
+// Bernoulli sweep accepted, with their inclusion probabilities and density
+// estimates, in scan order.
+struct SampleShardPart {
+  int64_t shard = 0;
+  int64_t num_shards = 1;
+  int64_t total_rows = 0;
+  int64_t rows = 0;
+  data::PointSet points;
+  std::vector<double> inclusion_probs;
+  std::vector<double> densities;
+  int64_t clamped_count = 0;
+};
+
+// Mergeable partial state of the sampling pass; FinalizeSample concatenates
+// the complete set in ascending shard order.
+struct PartialSample {
+  std::vector<SampleShardPart> parts;
+};
+
+Result<PartialNormalizer> MergePartialNormalizers(PartialNormalizer a,
+                                                  PartialNormalizer b);
+Result<PartialSample> MergePartialSamples(PartialSample a, PartialSample b);
 
 struct BiasedSamplerOptions {
   // The density exponent `a`.
@@ -92,6 +136,24 @@ class BiasedSampler {
   // The inclusion probability the sampler would assign to density value f
   // given normalizer k_a (exposed for analysis and tests).
   double InclusionProbability(double density, double normalizer) const;
+
+  // Sharded partial pipeline (DESIGN.md §12). `scan` must cover exactly the
+  // rows of ShardRowRange(info.total_rows, info.num_shards, info.shard);
+  // wrap the full dataset in a data::RangeScan. Run is implemented as the
+  // num_shards == 1 instance of these, which pins the shards=1 path bitwise
+  // identical to the historical two-pass algorithm.
+  Result<PartialNormalizer> NormalizerPartial(
+      data::DataScan& scan, const density::DensityEstimator& estimator,
+      const ShardInfo& info) const;
+  // Reduces a COMPLETE normalizer state to k_a (ascending shard order).
+  Result<double> FinalizeNormalizer(const PartialNormalizer& partial) const;
+  // Sampling pass over one shard with the shard-seeded Bernoulli stream.
+  Result<PartialSample> SamplePartial(
+      data::DataScan& scan, const density::DensityEstimator& estimator,
+      double normalizer, const ShardInfo& info) const;
+  // Concatenates a COMPLETE sample state in ascending shard order.
+  Result<BiasedSample> FinalizeSample(PartialSample partial,
+                                      double normalizer) const;
 
  private:
   Result<BiasedSample> SampleWithNormalizer(

@@ -1,0 +1,55 @@
+#include "data/range_scan.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dbs::data {
+
+RangeScan::RangeScan(DataScan* base, int64_t row_begin, int64_t row_end)
+    : base_(base), row_begin_(row_begin), row_end_(row_end) {
+  DBS_CHECK(base != nullptr);
+  DBS_CHECK_MSG(0 <= row_begin && row_begin <= row_end &&
+                    row_end <= base->size(),
+                "row range must lie within the base scan");
+}
+
+void RangeScan::Reset() {
+  base_->Reset();
+  started_ = true;
+  positioned_ = false;
+  cursor_ = row_begin_;
+  pending_ = ScanBatch();
+  pending_start_ = 0;
+  BumpPass();
+}
+
+bool RangeScan::NextBatch(ScanBatch* batch) {
+  DBS_CHECK_MSG(started_, "Reset() must be called before NextBatch()");
+  if (cursor_ >= row_end_) return false;
+  if (!positioned_) {
+    // Skip whole base batches until the one containing row_begin_.
+    int64_t pos = 0;
+    while (true) {
+      if (!base_->NextBatch(&pending_)) return false;
+      if (pos + pending_.count > row_begin_) {
+        pending_start_ = pos;
+        break;
+      }
+      pos += pending_.count;
+    }
+    positioned_ = true;
+  }
+  while (cursor_ >= pending_start_ + pending_.count) {
+    const int64_t pos = pending_start_ + pending_.count;
+    if (!base_->NextBatch(&pending_)) return false;
+    pending_start_ = pos;
+  }
+  const int64_t offset = cursor_ - pending_start_;
+  batch->rows = pending_.rows + offset * dim();
+  batch->count = std::min(pending_.count - offset, row_end_ - cursor_);
+  cursor_ += batch->count;
+  return true;
+}
+
+}  // namespace dbs::data

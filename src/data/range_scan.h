@@ -1,0 +1,48 @@
+// Range-partitioned scanning for sharded builds (DESIGN.md §12).
+//
+// RangeScan restricts an underlying DataScan to a half-open [row_begin,
+// row_end) slice, so N workers can each stream a disjoint shard of the same
+// file. Rows are delivered in the base scan's order as views into the base
+// scan's batches: a batch that straddles a range boundary is clipped, one
+// that falls entirely inside is passed through untouched. A full-range
+// RangeScan therefore yields byte-identical batch boundaries to the base
+// scan — which is what keeps the shards=1 build path bitwise identical to
+// the unsharded one.
+
+#ifndef DBS_DATA_RANGE_SCAN_H_
+#define DBS_DATA_RANGE_SCAN_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace dbs::data {
+
+// Adapts `base` (not owned; must outlive the RangeScan) to the row slice
+// [row_begin, row_end). Requires 0 <= row_begin <= row_end <= base->size().
+// The adapter drives the base scan exclusively: do not interleave NextBatch
+// calls on the base while a RangeScan pass is in flight.
+class RangeScan : public DataScan {
+ public:
+  RangeScan(DataScan* base, int64_t row_begin, int64_t row_end);
+
+  int dim() const override { return base_->dim(); }
+  int64_t size() const override { return row_end_ - row_begin_; }
+  void Reset() override;
+  bool NextBatch(ScanBatch* batch) override;
+
+ private:
+  DataScan* base_;
+  int64_t row_begin_;
+  int64_t row_end_;
+
+  bool started_ = false;
+  bool positioned_ = false;  // pending_ holds the batch containing cursor_
+  int64_t cursor_ = 0;       // absolute row index of the next row to serve
+  ScanBatch pending_;        // current base batch
+  int64_t pending_start_ = 0;  // absolute row index of pending_.rows[0]
+};
+
+}  // namespace dbs::data
+
+#endif  // DBS_DATA_RANGE_SCAN_H_

@@ -4,8 +4,7 @@
 #include <cmath>
 #include <utility>
 
-#include "util/rng.h"
-#include "util/stats.h"
+#include "density/kde_partial.h"
 
 namespace dbs::density {
 namespace {
@@ -36,80 +35,14 @@ constexpr int64_t kTileBlock = 256;
 }  // namespace
 
 Result<Kde> Kde::Fit(data::DataScan& scan, const KdeOptions& options) {
-  if (options.num_kernels <= 0) {
-    return Status::InvalidArgument("num_kernels must be positive");
-  }
-  if (options.bandwidth_rule == BandwidthRule::kFixed &&
-      options.fixed_bandwidth <= 0) {
-    return Status::InvalidArgument(
-        "fixed bandwidth rule requires fixed_bandwidth > 0");
-  }
-  if (options.bandwidth_scale <= 0) {
-    return Status::InvalidArgument("bandwidth_scale must be positive");
-  }
-  const int dim = scan.dim();
-  if (dim <= 0) {
-    return Status::InvalidArgument("scan must have positive dimensionality");
-  }
-
-  Kde kde;
-  kde.kernel_ = options.kernel;
-  kde.centers_ = data::PointSet(dim);
-  kde.bounds_ = data::BoundingBox(dim);
-  std::vector<OnlineMoments> moments(dim);
-  Rng rng(options.seed);
-
-  // Single pass: reservoir-sample centers (Vitter's Algorithm R), accumulate
-  // moments and bounds.
-  const int64_t m_target = options.num_kernels;
-  scan.Reset();
-  data::ScanBatch batch;
-  int64_t seen = 0;
-  while (scan.NextBatch(&batch)) {
-    for (int64_t i = 0; i < batch.count; ++i) {
-      data::PointView p = batch.point(i, dim);
-      kde.bounds_.Extend(p);
-      for (int j = 0; j < dim; ++j) moments[j].Add(p[j]);
-      if (seen < m_target) {
-        kde.centers_.Append(p);
-      } else {
-        int64_t slot = static_cast<int64_t>(rng.NextBounded(
-            static_cast<uint64_t>(seen + 1)));
-        if (slot < m_target) {
-          data::PointView src = p;
-          double* dst = kde.centers_.MutableRow(slot);
-          for (int j = 0; j < dim; ++j) dst[j] = src[j];
-        }
-      }
-      ++seen;
-    }
-  }
-  if (seen == 0) {
-    return Status::InvalidArgument("cannot fit a KDE on an empty dataset");
-  }
-  kde.n_ = seen;
-
-  std::vector<double> sigma(dim);
-  for (int j = 0; j < dim; ++j) sigma[j] = moments[j].sample_stddev();
-  kde.bandwidths_ =
-      ComputeBandwidths(options.bandwidth_rule, options.kernel, sigma,
-                        kde.centers_.size(), options.fixed_bandwidth);
-  for (double& h : kde.bandwidths_) h *= options.bandwidth_scale;
-  kde.inv_bandwidths_.resize(dim);
-  double inv_h_prod = 1.0;
-  for (int j = 0; j < dim; ++j) {
-    kde.inv_bandwidths_[j] = 1.0 / kde.bandwidths_[j];
-    inv_h_prod *= kde.inv_bandwidths_[j];
-  }
-  kde.norm_factor_ = static_cast<double>(kde.n_) /
-                     static_cast<double>(kde.centers_.size()) * inv_h_prod;
-  kde.support_radius_ = KernelSupportRadius(options.kernel);
-
-  kde.BuildSoA();
-  if (options.use_grid_index && dim <= kMaxIndexDim) {
-    kde.BuildIndex();
-  }
-  return kde;
+  // A fit is a single-shard sharded build: FitPartial runs the historical
+  // one-pass reservoir/moments loop (shard 0 consumes the legacy RNG
+  // stream), FinalizeKde the historical bandwidth tail — so the sharded
+  // pipeline's shards=1 path is this function, bitwise.
+  ShardInfo info;
+  info.total_rows = scan.size();
+  DBS_ASSIGN_OR_RETURN(PartialKde partial, FitPartial(scan, options, info));
+  return FinalizeKde(std::move(partial), options);
 }
 
 Result<Kde> Kde::Fit(const data::PointSet& points, const KdeOptions& options) {

@@ -40,9 +40,12 @@
 #include "density/bandwidth.h"
 #include "density/density_estimator.h"
 #include "density/kernel.h"
+#include "util/shard.h"
 #include "util/status.h"
 
 namespace dbs::density {
+
+struct PartialKde;  // density/kde_partial.h
 
 struct KdeOptions {
   // Number of kernel centers (the paper's recommended default).
@@ -70,6 +73,18 @@ class Kde final : public DensityEstimator {
   // Convenience overload for in-memory data (still a single logical pass).
   static Result<Kde> Fit(const data::PointSet& points,
                          const KdeOptions& options);
+
+  // Sharded build (DESIGN.md §12): scans one shard's slice and emits a
+  // mergeable partial state. `scan` must cover exactly the rows of
+  // ShardRowRange(info.total_rows, info.num_shards, info.shard) — wrap the
+  // full dataset in a data::RangeScan. Kernel centers are reservoir-sampled
+  // at the shard's proportional quota with the shard-seeded RNG stream, so
+  // FinalizeKde over all shards' partials reconstructs a model of the same
+  // shape Fit builds — bitwise identical to Fit when info.num_shards == 1
+  // (Fit itself is implemented as FitPartial + FinalizeKde).
+  static Result<PartialKde> FitPartial(data::DataScan& scan,
+                                       const KdeOptions& options,
+                                       const ShardInfo& info);
 
   int dim() const override { return centers_.dim(); }
   double Evaluate(data::PointView p) const override;

@@ -1,0 +1,62 @@
+// Mergeable partial KDE state for sharded builds (DESIGN.md §12).
+//
+// A PartialKde is a set of per-shard summaries, each carrying everything
+// Kde::Fit accumulates in its single pass: the shard's reservoir of kernel
+// centers (drawn at the shard's proportional quota from its own RNG
+// stream), per-dimension Welford moments, bounds, and the row count.
+//
+// MergePartialKde is a sorted disjoint union — no floating-point arithmetic
+// happens until FinalizeKde reduces the complete set exactly once, in
+// ascending shard order. Merge order therefore cannot affect the finalized
+// model: the tree-reduce is associative and commutative bitwise, and the
+// num_shards == 1 path is pinned bitwise identical to Kde::Fit.
+
+#ifndef DBS_DENSITY_KDE_PARTIAL_H_
+#define DBS_DENSITY_KDE_PARTIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/bounds.h"
+#include "data/point_set.h"
+#include "density/kde.h"
+#include "util/shard.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace dbs::density {
+
+// One shard's contribution to a sharded KDE build.
+struct KdeShardPart {
+  int64_t shard = 0;
+  int64_t num_shards = 1;
+  int64_t total_rows = 0;  // rows in the whole dataset
+  int64_t rows = 0;        // rows this shard actually scanned
+  data::PointSet centers;  // reservoir of the shard's kernel-center quota
+  std::vector<OnlineMoments> moments;  // per dimension
+  data::BoundingBox bounds;
+};
+
+// Partial state of a sharded KDE build: per-shard parts in ascending shard
+// order, pairwise disjoint. Complete once every shard is present.
+struct PartialKde {
+  std::vector<KdeShardPart> parts;
+
+  int dim() const {
+    return parts.empty() ? 0 : parts.front().centers.dim();
+  }
+};
+
+// Disjoint union of two partial states (no arithmetic; see header comment).
+// Fails if the inputs come from different sharded builds or share a shard.
+Result<PartialKde> MergePartialKde(PartialKde a, PartialKde b);
+
+// Reduces a COMPLETE partial state (all shards present) into a fitted Kde:
+// centers are concatenated in shard order, moments and bounds merged in
+// shard order, then bandwidths derived exactly as Kde::Fit derives them.
+// `options` must be the options every FitPartial call used.
+Result<Kde> FinalizeKde(PartialKde partial, const KdeOptions& options);
+
+}  // namespace dbs::density
+
+#endif  // DBS_DENSITY_KDE_PARTIAL_H_

@@ -23,12 +23,14 @@
 #define DBS_OUTLIER_KDE_DETECTOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "data/dataset.h"
 #include "data/point_set.h"
 #include "density/density_estimator.h"
 #include "outlier/ball_integration.h"
 #include "outlier/db_outlier.h"
+#include "util/shard.h"
 #include "util/status.h"
 
 namespace dbs::outlier {
@@ -72,6 +74,89 @@ Result<int64_t> EstimateOutlierCount(const data::PointSet& points,
                                      const density::DensityEstimator& estimator,
                                      const DbOutlierParams& params,
                                      const KdeDetectorOptions& options);
+
+// ---------------------------------------------------------------------------
+// Sharded partial pipeline (DESIGN.md §12).
+//
+// Detection is two fan-out rounds: every shard scores its slice of rows
+// against the shared estimator (candidate rows are GLOBAL row indices), the
+// merged candidate set is broadcast back, and every shard counts exact
+// neighbors of all candidates among its own rows. Both stages are RNG-free
+// and contiguous-range, so the sharded detector is bitwise identical to
+// DetectOutliersApproximate at ANY shard count — DetectOutliersApproximate
+// itself runs as the num_shards == 1 instance of these functions.
+
+// One shard's candidate slice from the scoring pass, in global row order.
+struct CandidateShardPart {
+  int64_t shard = 0;
+  int64_t num_shards = 1;
+  int64_t total_rows = 0;
+  int64_t rows = 0;
+  data::PointSet candidates;
+  std::vector<int64_t> candidate_rows;  // global row indices
+};
+
+struct PartialOutlierCandidates {
+  std::vector<CandidateShardPart> parts;
+};
+
+// The flattened candidate set of a COMPLETE scoring round.
+struct OutlierCandidates {
+  data::PointSet points;
+  std::vector<int64_t> rows;  // global row indices, ascending
+};
+
+// One shard's exact neighbor tallies: counts[c] = occurrences of candidate
+// c within params.radius among this shard's rows.
+struct NeighborCountShardPart {
+  int64_t shard = 0;
+  int64_t num_shards = 1;
+  int64_t total_rows = 0;
+  std::vector<int64_t> counts;
+};
+
+struct PartialNeighborCounts {
+  std::vector<NeighborCountShardPart> parts;
+};
+
+// Scoring pass over one shard's slice. `scan` must cover exactly the rows
+// of ShardRowRange(info.total_rows, info.num_shards, info.shard). The
+// expected-neighbor bound p is computed from info.total_rows. A shard whose
+// own candidate count exceeds options.max_candidates fails like the
+// unsharded detector does.
+Result<PartialOutlierCandidates> ScoreOutlierCandidatesPartial(
+    data::DataScan& scan, const density::DensityEstimator& estimator,
+    const DbOutlierParams& params, const KdeDetectorOptions& options,
+    const ShardInfo& info);
+
+// Disjoint union; fails with FailedPrecondition when the combined candidate
+// count exceeds `max_candidates` (the global cap the sequential sweep
+// enforces).
+Result<PartialOutlierCandidates> MergeOutlierCandidates(
+    PartialOutlierCandidates a, PartialOutlierCandidates b,
+    int64_t max_candidates);
+
+// Flattens a COMPLETE candidate state (all shards present) in ascending
+// shard order — i.e. ascending global row order.
+Result<OutlierCandidates> FinalizeOutlierCandidates(
+    PartialOutlierCandidates partial);
+
+// Verification pass over one shard's slice: exact neighbor tallies of every
+// candidate among the shard's rows (kd-tree over the candidate set).
+Result<PartialNeighborCounts> CountCandidateNeighborsPartial(
+    data::DataScan& scan, const OutlierCandidates& candidates,
+    const DbOutlierParams& params, const ShardInfo& info);
+
+Result<PartialNeighborCounts> MergeNeighborCounts(PartialNeighborCounts a,
+                                                  PartialNeighborCounts b);
+
+// Assembles the final report from COMPLETE candidate and count states:
+// per-candidate tallies are summed in ascending shard order (integer sums —
+// exact), each candidate's self-count removed, and survivors reported.
+// Sets candidates_checked and passes = 2.
+Result<OutlierReport> FinalizeOutlierReport(
+    const OutlierCandidates& candidates, const PartialNeighborCounts& counts,
+    const DbOutlierParams& params);
 
 }  // namespace dbs::outlier
 

@@ -107,6 +107,16 @@ Result<OutlierScoreBatchResponse> Client::OutlierScores(
   return DecodeOutlierResponse(response.payload);
 }
 
+Result<density::PartialKde> Client::PartialFit(
+    const PartialFitRequest& request) {
+  DBS_ASSIGN_OR_RETURN(
+      Frame response,
+      RoundTrip(MessageType::kPartialFitRequest,
+                EncodePartialFitRequest(request),
+                MessageType::kPartialFitResponse));
+  return DecodePartialKde(response.payload);
+}
+
 Result<StatsResponse> Client::Stats() {
   DBS_ASSIGN_OR_RETURN(Frame response,
                        RoundTrip(MessageType::kStatsRequest, {},

@@ -41,6 +41,11 @@ class Client {
   Result<OutlierScoreBatchResponse> OutlierScores(
       const OutlierScoreBatchRequest& request);
 
+  // Fits one shard of a distributed KDE build on the server (the dataset
+  // path is server-side) and returns the mergeable partial state. See
+  // tools/dbs_merge for the collector that reduces the shards.
+  Result<density::PartialKde> PartialFit(const PartialFitRequest& request);
+
   Result<StatsResponse> Stats();
 
   // Asks the daemon to shut down; the connection closes afterwards.

@@ -21,6 +21,8 @@
 
 #include "data/distance.h"
 #include "data/point_set.h"
+#include "density/bandwidth.h"
+#include "density/kernel.h"
 #include "outlier/ball_integration.h"
 
 namespace dbs::serve {
@@ -35,6 +37,7 @@ enum class RequestType : uint32_t {
   kOutlierScoreBatch = 5,
   kStats = 6,
   kShutdown = 7,
+  kPartialFit = 8,
 };
 
 // Returns a short stable name for a request type ("density", "sample", ...).
@@ -107,6 +110,25 @@ struct OutlierScoreBatchResponse {
   std::vector<uint8_t> likely_outlier;
 };
 
+// Fit one shard of a sharded KDE build (DESIGN.md §12): scan rows
+// [ShardRowRange(...).begin, .end) of the .dbsf dataset at `path` — a path
+// on the SERVER's filesystem, like RegisterRequest — and return the
+// mergeable partial state. A coordinator (tools/dbs_merge) fans one request
+// per shard out across daemons, tree-reduces the responses and finalizes
+// the model; the options here must be identical across every shard of one
+// build, and mirror density::KdeOptions field for field.
+struct PartialFitRequest {
+  std::string path;
+  int64_t shard = 0;
+  int64_t num_shards = 1;
+  int64_t num_kernels = 1000;
+  density::KernelType kernel = density::KernelType::kEpanechnikov;
+  density::BandwidthRule bandwidth_rule = density::BandwidthRule::kScott;
+  double fixed_bandwidth = 0.0;
+  double bandwidth_scale = 1.0;
+  uint64_t seed = 1;
+};
+
 // Latency/throughput counters for one request type.
 struct RequestStats {
   RequestType type = RequestType::kStats;
@@ -146,6 +168,8 @@ inline const char* RequestTypeName(RequestType type) {
       return "stats";
     case RequestType::kShutdown:
       return "shutdown";
+    case RequestType::kPartialFit:
+      return "partial_fit";
   }
   return "unknown";
 }

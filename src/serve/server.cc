@@ -153,6 +153,15 @@ bool Server::ServeOne(int fd, const Frame& frame) {
                         EncodeOutlierResponse(*response))
           .ok();
     }
+    case MessageType::kPartialFitRequest: {
+      auto request = DecodePartialFitRequest(frame.payload);
+      if (!request.ok()) return reject(request.status());
+      auto response = service_->PartialFit(*request);
+      if (!response.ok()) return answer_error(response.status());
+      return WriteFrame(fd, MessageType::kPartialFitResponse,
+                        EncodePartialKde(*response))
+          .ok();
+    }
     case MessageType::kStatsRequest: {
       StatsResponse response = service_->Stats();
       return WriteFrame(fd, MessageType::kStatsResponse,

@@ -5,7 +5,10 @@
 #include <utility>
 
 #include "core/biased_sampler.h"
+#include "data/dataset_io.h"
+#include "data/range_scan.h"
 #include "outlier/ball_integration.h"
+#include "util/shard.h"
 #include "util/stats.h"
 
 namespace dbs::serve {
@@ -181,6 +184,51 @@ Result<OutlierScoreBatchResponse> ModelService::OutlierScores(
   }
   Record(RequestType::kOutlierScoreBatch, true, total, ElapsedUs(start));
   return response;
+}
+
+Result<density::PartialKde> ModelService::PartialFit(
+    const PartialFitRequest& request) {
+  Clock::time_point start = Clock::now();
+  int64_t rows = 0;
+  auto fail = [&](Status status) -> Result<density::PartialKde> {
+    Record(RequestType::kPartialFit, false, rows, ElapsedUs(start));
+    return status;
+  };
+
+  ShardInfo info;
+  info.shard = request.shard;
+  info.num_shards = request.num_shards;
+  Status valid = ValidateShardInfo(info);
+  if (!valid.ok()) return fail(valid);
+
+  density::KdeOptions options;
+  options.num_kernels = request.num_kernels;
+  options.kernel = request.kernel;
+  options.bandwidth_rule = request.bandwidth_rule;
+  options.fixed_bandwidth = request.fixed_bandwidth;
+  options.bandwidth_scale = request.bandwidth_scale;
+  options.seed = request.seed;
+
+  auto scan = data::FileScan::Open(request.path, 8192,
+                                   /*double_buffered=*/true);
+  if (!scan.ok()) return fail(scan.status());
+  info.total_rows = (*scan)->size();
+  const RowRange range =
+      ShardRowRange(info.total_rows, info.num_shards, info.shard);
+  rows = range.size();
+
+  // Like Sample: the reservoir pass is one sequential RNG sweep, submitted
+  // as a single admission-controlled task.
+  Result<density::PartialKde> partial =
+      Status::Internal("partial-fit task did not run");
+  Status run = executor_->ParallelFor(1, [&](int64_t, int64_t) {
+    data::RangeScan slice(scan->get(), range.begin, range.end);
+    partial = density::Kde::FitPartial(slice, options, info);
+  });
+  if (!run.ok()) return fail(run);
+  if (!partial.ok()) return fail(partial.status());
+  Record(RequestType::kPartialFit, true, rows, ElapsedUs(start));
+  return partial;
 }
 
 StatsResponse ModelService::Stats() const {

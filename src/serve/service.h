@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "density/kde_partial.h"
 #include "serve/batch_executor.h"
 #include "serve/model_registry.h"
 #include "serve/request.h"
@@ -49,6 +50,12 @@ class ModelService {
   // Outlier scoring sharded across the executor.
   Result<OutlierScoreBatchResponse> OutlierScores(
       const OutlierScoreBatchRequest& request);
+
+  // One shard of a distributed KDE build (DESIGN.md §12): streams the
+  // shard's slice of the server-side .dbsf dataset through Kde::FitPartial
+  // and returns the mergeable state. Sequential like Sample (the reservoir
+  // consumes an RNG stream), so it runs as one admission-controlled task.
+  Result<density::PartialKde> PartialFit(const PartialFitRequest& request);
 
   StatsResponse Stats() const;
 

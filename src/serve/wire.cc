@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
 namespace dbs::serve {
 namespace {
@@ -14,9 +15,9 @@ constexpr size_t kFrameHeaderBytes = 20;
 
 bool IsKnownMessageType(uint32_t type) {
   return (type >= static_cast<uint32_t>(MessageType::kRegisterRequest) &&
-          type <= static_cast<uint32_t>(MessageType::kShutdownRequest)) ||
+          type <= static_cast<uint32_t>(MessageType::kPartialFitRequest)) ||
          (type >= static_cast<uint32_t>(MessageType::kErrorResponse) &&
-          type <= static_cast<uint32_t>(MessageType::kStatsResponse));
+          type <= static_cast<uint32_t>(MessageType::kPartialFitResponse));
 }
 
 Status Corrupt(const char* what) {
@@ -424,6 +425,158 @@ Result<StatsResponse> DecodeStatsResponse(
   }
   if (!r.AtEnd()) return Corrupt("stats response");
   return response;
+}
+
+std::vector<uint8_t> EncodePartialFitRequest(
+    const PartialFitRequest& request) {
+  WireWriter w;
+  w.PutString(request.path);
+  w.PutI64(request.shard);
+  w.PutI64(request.num_shards);
+  w.PutI64(request.num_kernels);
+  w.PutU32(static_cast<uint32_t>(request.kernel));
+  w.PutU32(static_cast<uint32_t>(request.bandwidth_rule));
+  w.PutDouble(request.fixed_bandwidth);
+  w.PutDouble(request.bandwidth_scale);
+  w.PutU64(request.seed);
+  return w.Take();
+}
+
+Result<PartialFitRequest> DecodePartialFitRequest(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  PartialFitRequest request;
+  uint32_t kernel = 0;
+  uint32_t rule = 0;
+  r.GetString(&request.path);
+  r.GetI64(&request.shard);
+  r.GetI64(&request.num_shards);
+  r.GetI64(&request.num_kernels);
+  r.GetU32(&kernel);
+  r.GetU32(&rule);
+  r.GetDouble(&request.fixed_bandwidth);
+  r.GetDouble(&request.bandwidth_scale);
+  r.GetU64(&request.seed);
+  if (!r.AtEnd()) return Corrupt("partial-fit request");
+  if (request.path.empty()) return Corrupt("empty dataset path");
+  if (request.num_shards <= 0 ||
+      request.num_shards > static_cast<int64_t>(kMaxWireShards)) {
+    return Corrupt("shard count out of range");
+  }
+  if (request.shard < 0 || request.shard >= request.num_shards) {
+    return Corrupt("shard index out of range");
+  }
+  if (request.num_kernels <= 0) return Corrupt("non-positive kernel count");
+  if (kernel > static_cast<uint32_t>(density::KernelType::kGaussian)) {
+    return Corrupt("unknown kernel type");
+  }
+  if (rule > static_cast<uint32_t>(density::BandwidthRule::kFixed)) {
+    return Corrupt("unknown bandwidth rule");
+  }
+  request.kernel = static_cast<density::KernelType>(kernel);
+  request.bandwidth_rule = static_cast<density::BandwidthRule>(rule);
+  return request;
+}
+
+std::vector<uint8_t> EncodePartialKde(const density::PartialKde& partial) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(partial.parts.size()));
+  for (const density::KdeShardPart& part : partial.parts) {
+    w.PutI64(part.shard);
+    w.PutI64(part.num_shards);
+    w.PutI64(part.total_rows);
+    w.PutI64(part.rows);
+    w.PutPoints(part.centers);
+    // Bounds: presence flag, then lo/hi per dimension. An absent box decodes
+    // back to the ±inf-sentinel empty box, so the flag (not sentinel bytes)
+    // carries emptiness.
+    w.PutU32(part.bounds.empty() ? 0u : 1u);
+    if (!part.bounds.empty()) {
+      for (int j = 0; j < part.centers.dim(); ++j) {
+        w.PutDouble(part.bounds.lo(j));
+      }
+      for (int j = 0; j < part.centers.dim(); ++j) {
+        w.PutDouble(part.bounds.hi(j));
+      }
+    }
+    // One Welford accumulator per dimension, as raw state — FromParts
+    // rebuilds them bitwise on the other end.
+    for (const OnlineMoments& m : part.moments) {
+      w.PutI64(m.count());
+      w.PutDouble(m.mean());
+      w.PutDouble(m.m2());
+      w.PutDouble(m.min());
+      w.PutDouble(m.max());
+    }
+  }
+  return w.Take();
+}
+
+Result<density::PartialKde> DecodePartialKde(
+    const std::vector<uint8_t>& payload) {
+  WireReader r(payload);
+  density::PartialKde partial;
+  uint32_t num_parts = 0;
+  if (!r.GetU32(&num_parts) || num_parts == 0 ||
+      num_parts > kMaxWireShards) {
+    return Corrupt("partial KDE state");
+  }
+  int dim = 0;
+  for (uint32_t i = 0; i < num_parts; ++i) {
+    density::KdeShardPart part;
+    r.GetI64(&part.shard);
+    r.GetI64(&part.num_shards);
+    r.GetI64(&part.total_rows);
+    r.GetI64(&part.rows);
+    if (!r.GetPoints(&part.centers)) return Corrupt("partial KDE centers");
+    if (i == 0) {
+      dim = part.centers.dim();
+    } else if (part.centers.dim() != dim) {
+      return Corrupt("partial KDE parts disagree on dimensionality");
+    }
+    uint32_t has_bounds = 0;
+    if (!r.GetU32(&has_bounds) || has_bounds > 1) {
+      return Corrupt("partial KDE bounds");
+    }
+    if (has_bounds == 1) {
+      std::vector<double> lo(static_cast<size_t>(dim));
+      std::vector<double> hi(static_cast<size_t>(dim));
+      bool box_ok = true;
+      for (double& v : lo) box_ok = box_ok && r.GetDouble(&v);
+      for (double& v : hi) box_ok = box_ok && r.GetDouble(&v);
+      if (!box_ok) return Corrupt("partial KDE bounds");
+      part.bounds = data::BoundingBox(std::move(lo), std::move(hi));
+    } else {
+      part.bounds = data::BoundingBox(dim);
+    }
+    part.moments.reserve(static_cast<size_t>(dim));
+    for (int j = 0; j < dim; ++j) {
+      int64_t count = 0;
+      double mean = 0.0;
+      double m2 = 0.0;
+      double mn = 0.0;
+      double mx = 0.0;
+      bool moments_ok = r.GetI64(&count) && r.GetDouble(&mean) &&
+                        r.GetDouble(&m2) && r.GetDouble(&mn) &&
+                        r.GetDouble(&mx);
+      if (!moments_ok || count < 0) return Corrupt("partial KDE moments");
+      part.moments.push_back(
+          OnlineMoments::FromParts(count, mean, m2, mn, mx));
+    }
+    if (part.num_shards <= 0 ||
+        part.num_shards > static_cast<int64_t>(kMaxWireShards) ||
+        part.shard < 0 || part.shard >= part.num_shards || part.rows < 0 ||
+        part.total_rows < 0 || part.rows > part.total_rows) {
+      return Corrupt("partial KDE shard identity");
+    }
+    if (!partial.parts.empty() &&
+        part.shard <= partial.parts.back().shard) {
+      return Corrupt("partial KDE shards out of order");
+    }
+    partial.parts.push_back(std::move(part));
+  }
+  if (!r.AtEnd()) return Corrupt("partial KDE state");
+  return partial;
 }
 
 std::vector<uint8_t> EncodeErrorResponse(const Status& status) {

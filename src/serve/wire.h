@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "density/kde_partial.h"
 #include "serve/request.h"
 #include "util/status.h"
 
@@ -34,6 +35,8 @@ inline constexpr uint64_t kMaxPayloadBytes = 1ull << 30;
 // Ceilings for the inner length fields.
 inline constexpr uint64_t kMaxWireString = 4096;
 inline constexpr uint32_t kMaxWireDim = 1024;
+// Ceiling on the shard count of a serialized partial-build state.
+inline constexpr uint32_t kMaxWireShards = 65536;
 
 // Wire message identifiers. Requests reuse RequestType values; responses
 // live in a disjoint range. Append only.
@@ -45,12 +48,14 @@ enum class MessageType : uint32_t {
   kOutlierRequest = 5,
   kStatsRequest = 6,
   kShutdownRequest = 7,
+  kPartialFitRequest = 8,
   kErrorResponse = 100,
   kOkResponse = 101,
   kDensityResponse = 102,
   kSampleResponse = 103,
   kOutlierResponse = 104,
   kStatsResponse = 105,
+  kPartialFitResponse = 106,
 };
 
 struct Frame {
@@ -153,6 +158,21 @@ Result<OutlierScoreBatchResponse> DecodeOutlierResponse(
 
 std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response);
 Result<StatsResponse> DecodeStatsResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodePartialFitRequest(
+    const PartialFitRequest& request);
+Result<PartialFitRequest> DecodePartialFitRequest(
+    const std::vector<uint8_t>& payload);
+
+// Serialized mergeable KDE state (the kPartialFitResponse payload): per
+// shard part, its identity, the reservoir of kernel centers, bounds and the
+// per-dimension Welford moments as raw (count, mean, m2, min, max) — so a
+// decoded state finalizes bitwise identically to the in-process one
+// (OnlineMoments::FromParts). Decoding enforces the canonical form merges
+// produce: strictly ascending shard indices, one consistent dimensionality.
+std::vector<uint8_t> EncodePartialKde(const density::PartialKde& partial);
+Result<density::PartialKde> DecodePartialKde(
     const std::vector<uint8_t>& payload);
 
 // Error responses carry (code, message); decoding returns the Status they

@@ -38,6 +38,17 @@ void OnlineMoments::Merge(const OnlineMoments& other) {
   count_ = n;
 }
 
+OnlineMoments OnlineMoments::FromParts(int64_t count, double mean, double m2,
+                                       double min, double max) {
+  OnlineMoments m;
+  m.count_ = count;
+  m.mean_ = mean;
+  m.m2_ = m2;
+  m.min_ = min;
+  m.max_ = max;
+  return m;
+}
+
 double OnlineMoments::variance() const {
   if (count_ < 1) return 0.0;
   return m2_ / static_cast<double>(count_);

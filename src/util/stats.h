@@ -30,6 +30,14 @@ class OnlineMoments {
   double sample_stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }
+  // Raw sum of squared deviations — exposed so partial-build states can be
+  // serialized and rebuilt bit-for-bit (util/shard.h merge contract).
+  double m2() const { return m2_; }
+
+  // Rebuilds an accumulator from serialized raw parts. The result is
+  // bitwise identical to the accumulator the parts were read from.
+  static OnlineMoments FromParts(int64_t count, double mean, double m2,
+                                 double min, double max);
 
  private:
   int64_t count_ = 0;

@@ -1,0 +1,186 @@
+// RangeScan slicing + the util/shard.h arithmetic every partial build
+// shares (DESIGN.md §12).
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/range_scan.h"
+#include "util/shard.h"
+
+namespace dbs {
+namespace {
+
+data::PointSet MakePoints(int64_t n, int dim) {
+  data::PointSet points(dim);
+  std::vector<double> row(static_cast<size_t>(dim));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      row[static_cast<size_t>(j)] = static_cast<double>(i * dim + j);
+    }
+    points.Append(row);
+  }
+  return points;
+}
+
+// Drains a scan; returns the flattened rows and records batch sizes.
+std::vector<double> Drain(data::DataScan& scan,
+                          std::vector<int64_t>* batch_sizes = nullptr) {
+  scan.Reset();
+  std::vector<double> flat;
+  data::ScanBatch batch;
+  while (scan.NextBatch(&batch)) {
+    if (batch_sizes != nullptr) batch_sizes->push_back(batch.count);
+    flat.insert(flat.end(), batch.rows,
+                batch.rows + batch.count * scan.dim());
+  }
+  return flat;
+}
+
+TEST(RangeScanTest, SliceYieldsExactlyItsRows) {
+  const data::PointSet points = MakePoints(100, 3);
+  data::InMemoryScan base(&points, /*batch_rows=*/7);
+  data::RangeScan slice(&base, 13, 57);
+  EXPECT_EQ(slice.size(), 44);
+  EXPECT_EQ(slice.dim(), 3);
+  const std::vector<double> got = Drain(slice);
+  ASSERT_EQ(got.size(), 44u * 3u);
+  for (int64_t r = 0; r < 44; ++r) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(got[static_cast<size_t>(r * 3 + j)],
+                static_cast<double>((13 + r) * 3 + j));
+    }
+  }
+}
+
+TEST(RangeScanTest, FullRangePreservesBaseBatchBoundaries) {
+  // The shards=1 bitwise pin depends on a full-range RangeScan delivering
+  // the base scan's batches untouched.
+  const data::PointSet points = MakePoints(50, 2);
+  data::InMemoryScan direct(&points, /*batch_rows=*/8);
+  std::vector<int64_t> direct_sizes;
+  const std::vector<double> want = Drain(direct, &direct_sizes);
+
+  data::InMemoryScan base(&points, /*batch_rows=*/8);
+  data::RangeScan full(&base, 0, 50);
+  std::vector<int64_t> full_sizes;
+  const std::vector<double> got = Drain(full, &full_sizes);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(full_sizes, direct_sizes);
+}
+
+TEST(RangeScanTest, BoundaryCrossingBatchesAreClipped) {
+  const data::PointSet points = MakePoints(30, 1);
+  data::InMemoryScan base(&points, /*batch_rows=*/10);
+  // [5, 25) crosses both ends of the middle base batch [10, 20).
+  data::RangeScan slice(&base, 5, 25);
+  std::vector<int64_t> sizes;
+  const std::vector<double> got = Drain(slice, &sizes);
+  EXPECT_EQ(sizes, (std::vector<int64_t>{5, 10, 5}));
+  ASSERT_EQ(got.size(), 20u);
+  EXPECT_EQ(got.front(), 5.0);
+  EXPECT_EQ(got.back(), 24.0);
+}
+
+TEST(RangeScanTest, EmptyRange) {
+  const data::PointSet points = MakePoints(10, 2);
+  data::InMemoryScan base(&points);
+  data::RangeScan slice(&base, 4, 4);
+  EXPECT_EQ(slice.size(), 0);
+  EXPECT_TRUE(Drain(slice).empty());
+}
+
+TEST(RangeScanTest, ResetSupportsMultiplePasses) {
+  const data::PointSet points = MakePoints(40, 2);
+  data::InMemoryScan base(&points, /*batch_rows=*/6);
+  data::RangeScan slice(&base, 11, 31);
+  const std::vector<double> first = Drain(slice);
+  const std::vector<double> second = Drain(slice);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 20u * 2u);
+}
+
+TEST(ShardRowRangeTest, DisjointCoverWithBalancedSizes) {
+  for (int64_t total : {0, 1, 7, 100, 101}) {
+    for (int64_t shards : {1, 2, 3, 8}) {
+      int64_t covered = 0;
+      int64_t min_size = total + 1;
+      int64_t max_size = -1;
+      for (int64_t s = 0; s < shards; ++s) {
+        const RowRange r = ShardRowRange(total, shards, s);
+        EXPECT_EQ(r.begin, covered) << total << "/" << shards << "#" << s;
+        covered = r.end;
+        min_size = std::min(min_size, r.size());
+        max_size = std::max(max_size, r.size());
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_LE(max_size - min_size, 1);
+    }
+  }
+}
+
+TEST(ShardKernelAllocationTest, QuotasSumToBudgetAndFitShards) {
+  for (int64_t total : {10, 97, 1000}) {
+    for (int64_t shards : {1, 3, 7}) {
+      for (int64_t m : {1, 8, 10, 99}) {
+        if (m > total) continue;
+        const std::vector<int64_t> quota =
+            ShardKernelAllocation(total, shards, m);
+        EXPECT_EQ(std::accumulate(quota.begin(), quota.end(), int64_t{0}),
+                  m);
+        for (int64_t s = 0; s < shards; ++s) {
+          EXPECT_LE(quota[static_cast<size_t>(s)],
+                    ShardRowRange(total, shards, s).size());
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardSeedTest, ShardZeroIsTheLegacyStream) {
+  // The shards=1 bitwise pin: shard 0 must consume the user's seed as-is.
+  EXPECT_EQ(ShardSeed(42, 0), 42u);
+  EXPECT_EQ(ShardSeed(0, 0), 0u);
+  // Other shards draw from decorrelated streams.
+  EXPECT_NE(ShardSeed(42, 1), 42u);
+  EXPECT_NE(ShardSeed(42, 1), ShardSeed(42, 2));
+  EXPECT_NE(ShardSeed(42, 1), ShardSeed(43, 1));
+}
+
+struct TestPart {
+  int64_t shard = 0;
+  int64_t num_shards = 1;
+  int64_t total_rows = 0;
+  int payload = 0;
+};
+
+TEST(MergeShardPartsTest, InterleavesIntoAscendingShardOrder) {
+  std::vector<TestPart> into = {{0, 4, 100, 10}, {2, 4, 100, 12}};
+  std::vector<TestPart> from = {{1, 4, 100, 11}, {3, 4, 100, 13}};
+  ASSERT_TRUE(MergeShardParts(&into, std::move(from)).ok());
+  ASSERT_EQ(into.size(), 4u);
+  for (int64_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(into[static_cast<size_t>(s)].shard, s);
+    EXPECT_EQ(into[static_cast<size_t>(s)].payload, 10 + s);
+  }
+}
+
+TEST(MergeShardPartsTest, RejectsDuplicateShard) {
+  std::vector<TestPart> into = {{1, 3, 50, 0}};
+  std::vector<TestPart> from = {{1, 3, 50, 0}};
+  EXPECT_FALSE(MergeShardParts(&into, std::move(from)).ok());
+}
+
+TEST(MergeShardPartsTest, RejectsMismatchedBuilds) {
+  std::vector<TestPart> into = {{0, 3, 50, 0}};
+  std::vector<TestPart> other_count = {{1, 4, 50, 0}};
+  EXPECT_FALSE(MergeShardParts(&into, std::move(other_count)).ok());
+  std::vector<TestPart> other_rows = {{1, 3, 60, 0}};
+  EXPECT_FALSE(MergeShardParts(&into, std::move(other_rows)).ok());
+}
+
+}  // namespace
+}  // namespace dbs

@@ -137,11 +137,15 @@ TEST(RawAlloc, IgnoresDeletedFunctionsAndMakeUnique) {
 
 // --- unordered-container ----------------------------------------------------
 
-TEST(UnorderedContainer, FlagsOnlyInDensityAndCore) {
+TEST(UnorderedContainer, FlagsOnlyInDensityCoreAndShard) {
   const std::string bad = "std::unordered_map<uint64_t, int> cells;\n";
   EXPECT_EQ(Rules(LintSource("src/density/kde.cc", bad)),
             std::vector<std::string>{"unordered-container"});
   EXPECT_EQ(Rules(LintSource("src/core/sample.cc", bad)),
+            std::vector<std::string>{"unordered-container"});
+  // The shard merge paths are order-sensitive by contract: the tree-reduce
+  // must produce identical bytes for every merge order.
+  EXPECT_EQ(Rules(LintSource("src/shard/coordinator.cc", bad)),
             std::vector<std::string>{"unordered-container"});
   // The registry keyed by model name is outside the numeric core.
   EXPECT_TRUE(LintSource("src/serve/model_registry.cc", bad).empty());

@@ -2,19 +2,29 @@
 //
 //   dbs_outliers in=data.dbsf [k=0.05] [p=5] [metric=l2|l1|linf]
 //                [mode=approx|exact|estimate] [kernels=1000]
-//                [bandwidth_scale=0.25] [slack=5] [seed=1]
+//                [bandwidth_scale=0.25] [slack=5] [seed=1] [shards=1]
+//                [workers=0]
 //
 // approx:   the paper's two-pass detector (+ one estimator pass).
 // exact:    kd-tree exact baseline (loads the file into memory).
 // estimate: one-pass outlier-count estimate only (for exploring p and k).
+//
+// shards=N runs the estimator fit and the approx detector through the
+// sharded build pipeline (DESIGN.md §12), workers=W fans the shard builds
+// over a thread pool. shards=1 (the default) is bitwise identical to the
+// unsharded pipeline.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "data/dataset_io.h"
 #include "density/kde.h"
 #include "outlier/exact_detector.h"
 #include "outlier/kde_detector.h"
+#include "parallel/batch_executor.h"
+#include "shard/coordinator.h"
 #include "tools/flags.h"
 
 int main(int argc, char** argv) {
@@ -29,12 +39,23 @@ int main(int argc, char** argv) {
   double bandwidth_scale = flags.GetDouble("bandwidth_scale", 0.25);
   double slack = flags.GetDouble("slack", 5.0);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int64_t shards = flags.GetInt("shards", 1);
+  int64_t workers = flags.GetInt("workers", 0);
   if (!flags.AllKnown()) return 2;
   if (in.empty()) {
     std::fprintf(stderr,
                  "usage: dbs_outliers in=data.dbsf [k=] [p=] "
                  "[metric=l2|l1|linf] [mode=approx|exact|estimate] "
-                 "[kernels=] [bandwidth_scale=] [slack=] [seed=]\n");
+                 "[kernels=] [bandwidth_scale=] [slack=] [seed=] "
+                 "[shards=1] [workers=0]\n");
+    return 2;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "shards must be >= 1\n");
+    return 2;
+  }
+  if (shards > 1 && mode == "exact") {
+    std::fprintf(stderr, "mode 'exact' does not support shards > 1\n");
     return 2;
   }
 
@@ -84,11 +105,31 @@ int main(int argc, char** argv) {
   }
   dbs::data::FileScan& scan = **scan_result;
 
+  // Fit and (for approx) detection run through the shard coordinator; each
+  // shard streams its own slice from a fresh scan. shards=1 is the
+  // unsharded pipeline, bitwise.
+  std::unique_ptr<dbs::parallel::BatchExecutor> executor;
+  if (workers > 0) {
+    dbs::parallel::BatchExecutorOptions pool_opts;
+    pool_opts.num_workers = static_cast<int>(workers);
+    executor = std::make_unique<dbs::parallel::BatchExecutor>(pool_opts);
+  }
+  dbs::shard::ShardCoordinatorOptions coord_opts;
+  coord_opts.shards = shards;
+  coord_opts.executor = executor.get();
+  dbs::shard::ShardCoordinator coordinator(
+      [&in]() -> dbs::Result<std::unique_ptr<dbs::data::DataScan>> {
+        auto opened = dbs::data::FileScan::Open(in, /*batch_rows=*/8192);
+        if (!opened.ok()) return opened.status();
+        return std::unique_ptr<dbs::data::DataScan>(std::move(*opened));
+      },
+      coord_opts);
+
   dbs::density::KdeOptions kde_opts;
   kde_opts.num_kernels = kernels;
   kde_opts.bandwidth_scale = bandwidth_scale;
   kde_opts.seed = seed;
-  auto kde = dbs::density::Kde::Fit(scan, kde_opts);
+  auto kde = coordinator.BuildKde(kde_opts);
   if (!kde.ok()) {
     std::fprintf(stderr, "kde failed: %s\n",
                  kde.status().ToString().c_str());
@@ -105,9 +146,12 @@ int main(int argc, char** argv) {
                    estimate.status().ToString().c_str());
       return 1;
     }
+    // The sharded fit runs on its own scans; +1 accounts for its logical
+    // dataset pass, matching what scan.passes() reported when the fit
+    // shared this scan.
     std::printf("estimated DB(%lld, %.4g)-outliers: %lld  (passes: %d)\n",
                 static_cast<long long>(p), k,
-                static_cast<long long>(*estimate), scan.passes());
+                static_cast<long long>(*estimate), 1 + scan.passes());
     return 0;
   }
   if (mode != "approx") {
@@ -115,8 +159,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto report =
-      dbs::outlier::DetectOutliersApproximate(scan, *kde, params, options);
+  auto report = coordinator.DetectOutliers(*kde, params, options);
   if (!report.ok()) {
     std::fprintf(stderr, "detection failed: %s\n",
                  report.status().ToString().c_str());
@@ -126,7 +169,8 @@ int main(int argc, char** argv) {
       "approx: %zu verified DB(%lld, %.4g)-outliers; candidates %lld, "
       "total passes %d (incl. estimator)\n",
       report->outlier_indices.size(), static_cast<long long>(p), k,
-      static_cast<long long>(report->candidates_checked), scan.passes());
+      static_cast<long long>(report->candidates_checked),
+      1 + report->passes);
   for (size_t i = 0; i < report->outlier_indices.size(); ++i) {
     std::printf("  row %lld  neighbors %lld\n",
                 static_cast<long long>(report->outlier_indices[i]),

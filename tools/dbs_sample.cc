@@ -2,21 +2,32 @@
 //
 //   dbs_sample in=data.dbsf out=sample.dbsf [a=1.0] [size=2000]
 //              [kernels=1000] [bandwidth_scale=1.0] [mode=twopass|onepass|
-//              stream|uniform] [seed=1] [double_buffer=1]
+//              stream|uniform] [seed=1] [double_buffer=1] [shards=1]
+//              [workers=0]
 //
 // Streams the input (never materializes it), writes the sampled points to
 // `out`, and prints the sample statistics: size, normalizer, clamped count
 // and the Horvitz-Thompson estimate of the input size.
+//
+// The twopass/onepass modes run through the sharded build pipeline
+// (DESIGN.md §12): shards=N splits every pass into N disjoint row ranges
+// whose partial states are merged, and workers=W fans the shard builds over
+// a thread pool. shards=1 (the default) is bitwise identical to the
+// unsharded pipeline, and any worker count leaves the output unchanged.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "core/biased_sampler.h"
 #include "core/streaming_sampler.h"
 #include "data/dataset_io.h"
 #include "density/kde.h"
 #include "density/kde_io.h"
+#include "parallel/batch_executor.h"
 #include "sampling/uniform_sampler.h"
+#include "shard/coordinator.h"
 #include "tools/flags.h"
 
 int main(int argc, char** argv) {
@@ -38,6 +49,8 @@ int main(int argc, char** argv) {
   // the synchronous scan). Batches are delivered in the same order either
   // way, so the sample bytes are identical.
   bool double_buffer = flags.GetInt("double_buffer", 1) != 0;
+  int64_t shards = flags.GetInt("shards", 1);
+  int64_t workers = flags.GetInt("workers", 0);
   if (!flags.AllKnown()) return 2;
   if (in.empty() || out.empty()) {
     std::fprintf(stderr,
@@ -45,7 +58,16 @@ int main(int argc, char** argv) {
                  "[size=] [kernels=] [bandwidth_scale=] "
                  "[mode=twopass|onepass|stream|uniform] "
                  "[model=est.dbsk] [save_model=est.dbsk] [seed=] "
-                 "[double_buffer=0|1]\n");
+                 "[double_buffer=0|1] [shards=1] [workers=0]\n");
+    return 2;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "shards must be >= 1\n");
+    return 2;
+  }
+  if (shards > 1 && mode != "twopass" && mode != "onepass") {
+    std::fprintf(stderr, "mode '%s' does not support shards > 1\n",
+                 mode.c_str());
     return 2;
   }
 
@@ -64,6 +86,7 @@ int main(int argc, char** argv) {
   double normalizer = 0;
   int64_t clamped = 0;
   double estimated_n = 0;
+  int scan_passes = 0;
 
   if (mode == "uniform") {
     dbs::sampling::BernoulliSampleOptions opts;
@@ -77,6 +100,7 @@ int main(int argc, char** argv) {
     }
     sampled_points = std::move(sample).value();
     estimated_n = static_cast<double>(scan.size());
+    scan_passes = scan.passes();
   } else if (mode == "stream") {
     dbs::core::StreamingSamplerOptions opts;
     opts.a = a;
@@ -94,7 +118,32 @@ int main(int argc, char** argv) {
     clamped = sample->clamped_count;
     estimated_n = sample->EstimatedDatasetSize();
     sampled_points = std::move(sample->points);
+    scan_passes = scan.passes();
   } else if (mode == "twopass" || mode == "onepass") {
+    // Every pass (fit, normalizer, sampling) runs through the shard
+    // coordinator; each shard streams its own slice from a fresh scan.
+    // shards=1 is the unsharded pipeline, bitwise.
+    std::unique_ptr<dbs::parallel::BatchExecutor> executor;
+    if (workers > 0) {
+      dbs::parallel::BatchExecutorOptions pool_opts;
+      pool_opts.num_workers = static_cast<int>(workers);
+      executor =
+          std::make_unique<dbs::parallel::BatchExecutor>(pool_opts);
+    }
+    dbs::shard::ShardCoordinatorOptions coord_opts;
+    coord_opts.shards = shards;
+    coord_opts.executor = executor.get();
+    dbs::shard::ShardCoordinator coordinator(
+        [&in, double_buffer]()
+            -> dbs::Result<std::unique_ptr<dbs::data::DataScan>> {
+          auto opened =
+              dbs::data::FileScan::Open(in, /*batch_rows=*/8192,
+                                        double_buffer);
+          if (!opened.ok()) return opened.status();
+          return std::unique_ptr<dbs::data::DataScan>(std::move(*opened));
+        },
+        coord_opts);
+
     dbs::Result<dbs::density::Kde> kde =
         dbs::Status::InvalidArgument("unset");
     if (!model_in.empty()) {
@@ -104,7 +153,7 @@ int main(int argc, char** argv) {
       kde_opts.num_kernels = kernels;
       kde_opts.bandwidth_scale = bandwidth_scale;
       kde_opts.seed = seed;
-      kde = dbs::density::Kde::Fit(scan, kde_opts);
+      kde = coordinator.BuildKde(kde_opts);
     }
     if (!kde.ok()) {
       std::fprintf(stderr, "kde failed: %s\n",
@@ -124,9 +173,9 @@ int main(int argc, char** argv) {
     opts.a = a;
     opts.target_size = size;
     opts.seed = seed;
-    dbs::core::BiasedSampler sampler(opts);
-    auto sample = mode == "twopass" ? sampler.Run(scan, *kde)
-                                    : sampler.RunOnePass(scan, *kde);
+    auto sample = mode == "twopass"
+                      ? coordinator.SampleTwoPass(*kde, opts)
+                      : coordinator.SampleOnePass(*kde, opts);
     if (!sample.ok()) {
       std::fprintf(stderr, "sampling failed: %s\n",
                    sample.status().ToString().c_str());
@@ -136,6 +185,12 @@ int main(int argc, char** argv) {
     clamped = sample->clamped_count;
     estimated_n = sample->EstimatedDatasetSize();
     sampled_points = std::move(sample->points);
+    // The coordinator's shards open their own scans, so logical dataset
+    // passes are accounted here: one for a fresh fit, two for the
+    // normalizer+sampling sweeps (one when onepass skips the normalizer).
+    // Matches what scan.passes() reported when the passes all ran on the
+    // scan above.
+    scan_passes = (model_in.empty() ? 1 : 0) + (mode == "twopass" ? 2 : 1);
   } else {
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 2;
@@ -150,7 +205,7 @@ int main(int argc, char** argv) {
       "out: %s (%lld points) mode=%s a=%.3g passes=%d\n"
       "normalizer=%.6g clamped=%lld estimated-input-size=%.0f\n",
       out.c_str(), static_cast<long long>(sampled_points.size()),
-      mode.c_str(), a, scan.passes(), normalizer,
+      mode.c_str(), a, scan_passes, normalizer,
       static_cast<long long>(clamped) * 1LL, estimated_n);
   return 0;
 }

@@ -236,7 +236,8 @@ void CheckRawAlloc(RuleContext& ctx) {
 
 void CheckUnorderedContainer(RuleContext& ctx) {
   if (!StartsWith(ctx.path, "src/density/") &&
-      !StartsWith(ctx.path, "src/core/")) {
+      !StartsWith(ctx.path, "src/core/") &&
+      !StartsWith(ctx.path, "src/shard/")) {
     return;
   }
   for (size_t i = 0; i < ctx.lines.size(); ++i) {
@@ -247,8 +248,8 @@ void CheckUnorderedContainer(RuleContext& ctx) {
       if (!FindToken(code, name).empty()) {
         ctx.Add("unordered-container", line,
                 "hash-order iteration breaks the bitwise-reproducibility "
-                "contract in the numeric core; use a sorted structure "
-                "(see Kde::BuildIndex)");
+                "contract in the numeric core and the shard merge paths; "
+                "use a sorted structure (see Kde::BuildIndex)");
         break;
       }
     }

@@ -19,9 +19,11 @@
 //                      (`= delete` declarations are not allocations and
 //                      are ignored.)
 //   unordered-container no std::unordered_map / std::unordered_set in
-//                      src/density/ and src/core/ — hash-order iteration
-//                      is what broke bitwise reproducibility before the
-//                      flat sorted table; keep it out of the numeric core.
+//                      src/density/, src/core/ and src/shard/ — hash-order
+//                      iteration is what broke bitwise reproducibility
+//                      before the flat sorted table; keep it out of the
+//                      numeric core and the shard merge/fan-out paths,
+//                      whose tree-reduce must be invariant to merge order.
 //   serve-throw        no `throw` in src/serve/ — the serving stack's
 //                      error contract is Status codes on the wire.
 //   header-guard       every header opens with #ifndef or #pragma once.
