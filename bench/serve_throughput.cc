@@ -1,19 +1,26 @@
 // Serving throughput — requests/sec and latency percentiles of the dbsd
-// request path as the worker pool grows.
+// request path per transport as the worker pool grows.
 //
-// For each worker count (default 1/2/4/8) the bench stands up the full
-// served stack — registry, batch executor, loopback TCP server — and
-// hammers it with concurrent clients issuing density batches, the
-// subsystem's bread-and-butter request. Reported per worker count:
-// requests/sec and client-observed p50/p99 latency. Output is a
-// human-readable table on stdout plus machine-readable JSON
-// (BENCH_serve_throughput.json, override with out=).
+// For each (transport, worker count) pair the bench stands up the full
+// served stack — registry, batch executor, loopback TCP server with the
+// shared-memory transport enabled — and hammers it with concurrent clients
+// issuing density batches, the subsystem's bread-and-butter request.
+// Clients drive the raw frame stream (Submit/ReadResponseFrame) with up to
+// pipeline=N requests in flight, and check EVERY response against the
+// expected frame bytes (computed once through the same dispatch path the
+// server uses): the transports must be bitwise identical, and the bench
+// exits nonzero on any mismatch. Reported per row: requests/sec and
+// client-observed p50/p99 latency. Output is a human-readable table on
+// stdout plus machine-readable JSON (BENCH_serve_throughput.json, override
+// with out=).
 //
 //   serve_throughput [clients=4] [batches=40] [points=2000] [kernels=64]
-//                    [workers=1,2,4,8] [out=BENCH_serve_throughput.json]
+//                    [workers=1,2,4,8] [transports=tcp,shm] [pipeline=1]
+//                    [out=BENCH_serve_throughput.json]
 
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
@@ -22,6 +29,7 @@
 #include "density/kde.h"
 #include "serve/batch_executor.h"
 #include "serve/client.h"
+#include "serve/dispatch.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
 #include "serve/service.h"
@@ -34,10 +42,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-struct WorkerResult {
+struct RunResult {
+  std::string transport;
   int workers = 0;
+  int pipeline = 1;
   int64_t requests = 0;
   int64_t failed = 0;
+  int64_t mismatched = 0;
   double seconds = 0.0;
   double requests_per_sec = 0.0;
   double points_per_sec = 0.0;
@@ -56,9 +67,12 @@ dbs::data::PointSet MakeData(int64_t n, uint64_t seed) {
   return std::move(ds)->points;
 }
 
-WorkerResult RunOne(int workers, int clients, int batches_per_client,
-                    const std::shared_ptr<const dbs::density::Kde>& model,
-                    const dbs::data::PointSet& queries) {
+RunResult RunOne(const std::string& transport, int workers, int clients,
+                 int batches_per_client, int pipeline,
+                 const std::shared_ptr<const dbs::density::Kde>& model,
+                 const std::vector<uint8_t>& request_bytes,
+                 const std::vector<uint8_t>& expected_response_bytes,
+                 int64_t points_per_batch) {
   dbs::serve::ModelRegistry registry;
   DBS_CHECK(registry.Put("est", model, "kde").ok());
 
@@ -67,32 +81,63 @@ WorkerResult RunOne(int workers, int clients, int batches_per_client,
   pool.queue_capacity = 4096;
   dbs::serve::BatchExecutor executor(pool);
   dbs::serve::ModelService service(&registry, &executor);
-  auto server = dbs::serve::Server::Start(&service, dbs::serve::ServerOptions{});
+  auto server =
+      dbs::serve::Server::Start(&service, dbs::serve::ServerOptions{});
   DBS_CHECK(server.ok());
+
+  // The already-encoded request frame is replayed verbatim, so the per
+  // request client cost is pure transport.
+  size_t header = 0;
+  auto request_frame = dbs::serve::DecodeFrame(
+      request_bytes.data(), request_bytes.size(), &header);
+  DBS_CHECK(request_frame.ok());
 
   std::vector<std::vector<double>> latencies(clients);
   std::vector<int64_t> failures(clients, 0);
+  std::vector<int64_t> mismatches(clients, 0);
   std::vector<std::thread> threads;
   Clock::time_point start = Clock::now();
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      auto client = dbs::serve::Client::Connect((*server)->port());
+      dbs::serve::ClientOptions opts;
+      if (transport == "shm") {
+        opts.transport = dbs::serve::TransportKind::kShm;
+        // Measuring TCP while labeled shm would be worse than failing.
+        opts.shm_fallback_to_tcp = false;
+      }
+      auto client = dbs::serve::Client::Connect((*server)->port(), opts);
       DBS_CHECK(client.ok());
       latencies[c].reserve(batches_per_client);
-      for (int b = 0; b < batches_per_client; ++b) {
-        dbs::serve::DensityBatchRequest request;
-        request.model = "est";
-        request.points = queries;
-        Clock::time_point sent = Clock::now();
-        auto response = client->Density(request);
-        double us = std::chrono::duration<double, std::micro>(Clock::now() -
-                                                              sent)
-                        .count();
-        if (response.ok()) {
-          latencies[c].push_back(us);
-        } else {
-          ++failures[c];
+      std::deque<Clock::time_point> sent;
+      int submitted = 0;
+      int received = 0;
+      while (received < batches_per_client) {
+        while (submitted < batches_per_client &&
+               submitted - received < pipeline) {
+          sent.push_back(Clock::now());
+          dbs::Status pushed = client->Submit(request_frame->type,
+                                              request_frame->payload);
+          if (!pushed.ok()) {
+            failures[c] += batches_per_client - received;
+            return;
+          }
+          ++submitted;
         }
+        auto response = client->ReadResponseFrame();
+        if (!response.ok()) {
+          failures[c] += batches_per_client - received;
+          return;
+        }
+        double us = std::chrono::duration<double, std::micro>(Clock::now() -
+                                                              sent.front())
+                        .count();
+        sent.pop_front();
+        latencies[c].push_back(us);
+        if (dbs::serve::EncodeFrame(response->type, response->payload) !=
+            expected_response_bytes) {
+          ++mismatches[c];
+        }
+        ++received;
       }
     });
   }
@@ -102,19 +147,22 @@ WorkerResult RunOne(int workers, int clients, int batches_per_client,
   (*server)->Stop();
   executor.Shutdown();
 
-  WorkerResult result;
+  RunResult result;
+  result.transport = transport;
   result.workers = workers;
+  result.pipeline = pipeline;
   result.seconds = seconds;
   std::vector<double> all;
   for (int c = 0; c < clients; ++c) {
     result.requests += static_cast<int64_t>(latencies[c].size());
     result.failed += failures[c];
+    result.mismatched += mismatches[c];
     all.insert(all.end(), latencies[c].begin(), latencies[c].end());
   }
   if (seconds > 0) {
     result.requests_per_sec = static_cast<double>(result.requests) / seconds;
     result.points_per_sec =
-        result.requests_per_sec * static_cast<double>(queries.size());
+        result.requests_per_sec * static_cast<double>(points_per_batch);
   }
   if (!all.empty()) {
     result.p50_us = dbs::Percentile(all, 0.5);
@@ -136,8 +184,22 @@ bool ParseWorkerList(const std::string& spec, std::vector<int>* out) {
   return !out->empty();
 }
 
+bool ParseTransportList(const std::string& spec,
+                        std::vector<std::string>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string token = spec.substr(pos, comma - pos);
+    if (token != "tcp" && token != "shm") return false;
+    out->push_back(std::move(token));
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
 void WriteJson(const std::string& path, int clients, int batches,
-               int64_t points, const std::vector<WorkerResult>& results) {
+               int64_t points, const std::vector<RunResult>& results) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -149,14 +211,18 @@ void WriteJson(const std::string& path, int clients, int batches,
                "  \"points_per_batch\": %lld,\n  \"results\": [\n",
                clients, batches, static_cast<long long>(points));
   for (size_t i = 0; i < results.size(); ++i) {
-    const WorkerResult& r = results[i];
+    const RunResult& r = results[i];
     std::fprintf(f,
-                 "    {\"workers\": %d, \"requests\": %lld, "
-                 "\"failed\": %lld, \"seconds\": %.6f, "
+                 "    {\"transport\": \"%s\", \"workers\": %d, "
+                 "\"pipeline\": %d, \"requests\": %lld, "
+                 "\"failed\": %lld, \"mismatched\": %lld, "
+                 "\"seconds\": %.6f, "
                  "\"requests_per_sec\": %.2f, \"points_per_sec\": %.1f, "
                  "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
-                 r.workers, static_cast<long long>(r.requests),
-                 static_cast<long long>(r.failed), r.seconds,
+                 r.transport.c_str(), r.workers, r.pipeline,
+                 static_cast<long long>(r.requests),
+                 static_cast<long long>(r.failed),
+                 static_cast<long long>(r.mismatched), r.seconds,
                  r.requests_per_sec, r.points_per_sec, r.p50_us, r.p99_us,
                  i + 1 < results.size() ? "," : "");
   }
@@ -175,11 +241,23 @@ int main(int argc, char** argv) {
   int64_t points = flags.GetInt("points", 2000);
   int64_t kernels = flags.GetInt("kernels", 64);
   std::string workers_spec = flags.GetString("workers", "1,2,4,8");
+  std::string transports_spec = flags.GetString("transports", "tcp,shm");
+  int pipeline = static_cast<int>(flags.GetInt("pipeline", 1));
   std::string out = flags.GetString("out", "BENCH_serve_throughput.json");
   if (!flags.AllKnown()) return 2;
   std::vector<int> worker_counts;
   if (!ParseWorkerList(workers_spec, &worker_counts)) {
     std::fprintf(stderr, "bad workers= list '%s'\n", workers_spec.c_str());
+    return 2;
+  }
+  std::vector<std::string> transports;
+  if (!ParseTransportList(transports_spec, &transports)) {
+    std::fprintf(stderr, "bad transports= list '%s'\n",
+                 transports_spec.c_str());
+    return 2;
+  }
+  if (pipeline < 1) {
+    std::fprintf(stderr, "pipeline must be at least 1\n");
     return 2;
   }
 
@@ -193,22 +271,75 @@ int main(int argc, char** argv) {
       std::move(kde).value());
   dbs::data::PointSet queries = MakeData(points, 99);
 
+  // The ground-truth response frame, computed through the same dispatch
+  // path the server runs. Every response from every transport must match
+  // these bytes exactly — any drift is a transport bug, not noise.
+  dbs::serve::DensityBatchRequest request;
+  request.model = "est";
+  request.points = queries;
+  std::vector<uint8_t> request_bytes = dbs::serve::EncodeFrame(
+      dbs::serve::MessageType::kDensityRequest,
+      dbs::serve::EncodeDensityRequest(request));
+  std::vector<uint8_t> expected_bytes;
+  {
+    dbs::serve::ModelRegistry registry;
+    DBS_CHECK(registry.Put("est", model, "kde").ok());
+    dbs::serve::BatchExecutorOptions pool;
+    pool.num_workers = 1;
+    dbs::serve::BatchExecutor executor(pool);
+    dbs::serve::ModelService service(&registry, &executor);
+    size_t consumed = 0;
+    auto frame = dbs::serve::DecodeFrame(request_bytes.data(),
+                                         request_bytes.size(), &consumed);
+    DBS_CHECK(frame.ok());
+    dbs::serve::DispatchResult reference =
+        dbs::serve::DispatchFrame(&service, *frame);
+    DBS_CHECK(reference.response.type ==
+              dbs::serve::MessageType::kDensityResponse);
+    expected_bytes = dbs::serve::EncodeFrame(reference.response.type,
+                                             reference.response.payload);
+    executor.Shutdown();
+  }
+
   std::printf("serve_throughput: %d clients x %d density batches of %lld "
-              "points (%lld kernels)\n\n",
+              "points (%lld kernels, pipeline %d)\n\n",
               clients, batches, static_cast<long long>(queries.size()),
-              static_cast<long long>(kernels));
-  std::printf("%8s %10s %8s %12s %14s %10s %10s\n", "workers", "requests",
-              "failed", "req/s", "points/s", "p50_us", "p99_us");
-  std::vector<WorkerResult> results;
-  for (int workers : worker_counts) {
-    WorkerResult result = RunOne(workers, clients, batches, model, queries);
-    std::printf("%8d %10lld %8lld %12.1f %14.0f %10.1f %10.1f\n",
-                result.workers, static_cast<long long>(result.requests),
-                static_cast<long long>(result.failed),
-                result.requests_per_sec, result.points_per_sec, result.p50_us,
-                result.p99_us);
-    results.push_back(result);
+              static_cast<long long>(kernels), pipeline);
+  std::printf("%6s %8s %10s %8s %9s %12s %14s %10s %10s\n", "trans",
+              "workers", "requests", "failed", "mismatch", "req/s",
+              "points/s", "p50_us", "p99_us");
+  std::vector<RunResult> results;
+  int64_t total_mismatched = 0;
+  int64_t total_failed = 0;
+  for (const std::string& transport : transports) {
+    for (int workers : worker_counts) {
+      RunResult result =
+          RunOne(transport, workers, clients, batches, pipeline, model,
+                 request_bytes, expected_bytes, queries.size());
+      std::printf("%6s %8d %10lld %8lld %9lld %12.1f %14.0f %10.1f %10.1f\n",
+                  result.transport.c_str(), result.workers,
+                  static_cast<long long>(result.requests),
+                  static_cast<long long>(result.failed),
+                  static_cast<long long>(result.mismatched),
+                  result.requests_per_sec, result.points_per_sec,
+                  result.p50_us, result.p99_us);
+      total_mismatched += result.mismatched;
+      total_failed += result.failed;
+      results.push_back(result);
+    }
   }
   if (!out.empty()) WriteJson(out, clients, batches, queries.size(), results);
+  if (total_mismatched > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld response frame(s) differed from the expected "
+                 "bytes\n",
+                 static_cast<long long>(total_mismatched));
+    return 1;
+  }
+  if (total_failed > 0) {
+    std::fprintf(stderr, "FAIL: %lld request(s) failed\n",
+                 static_cast<long long>(total_failed));
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,39 @@
+// Transport-agnostic execution of one decoded DBSQ request frame.
+//
+// Both transports — the per-connection TCP loop in serve/server.cc and the
+// shared-memory drain thread in serve/shm_transport.cc — decode a frame,
+// hand it here, and ship the returned response frame back the way the
+// request came. Because the response bytes are produced by one dispatch
+// path and one codec regardless of transport, a request stream answered
+// over shm is bitwise identical to the same stream answered over TCP
+// (pinned by tests/serve_shm_transport_test.cc).
+
+#ifndef DBS_SERVE_DISPATCH_H_
+#define DBS_SERVE_DISPATCH_H_
+
+#include "serve/service.h"
+#include "serve/wire.h"
+
+namespace dbs::serve {
+
+struct DispatchResult {
+  Frame response;
+  // The frame was a shutdown request; the daemon should stop accepting.
+  bool shutdown = false;
+  // The connection/session must end after the response is sent: a peer
+  // whose payload failed to decode cannot be assumed frame-aligned anymore,
+  // and a shutdown request ends its own stream by definition. Service-level
+  // errors (unknown model, dimension mismatch, backpressure) do NOT set
+  // this — they are normal protocol traffic.
+  bool close = false;
+};
+
+// Executes one request frame against the service and encodes the response
+// frame. Never fails: malformed payloads and service errors both come back
+// as kErrorResponse frames, with `close` distinguishing framing violations
+// from ordinary errors.
+DispatchResult DispatchFrame(ModelService* service, const Frame& frame);
+
+}  // namespace dbs::serve
+
+#endif  // DBS_SERVE_DISPATCH_H_

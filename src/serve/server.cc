@@ -10,6 +10,7 @@
 #include <cstring>
 #include <utility>
 
+#include "serve/dispatch.h"
 #include "serve/wire.h"
 
 namespace dbs::serve {
@@ -25,6 +26,9 @@ Result<std::unique_ptr<Server>> Server::Start(ModelService* service,
                                               const ServerOptions& options) {
   if (service == nullptr) {
     return Status::InvalidArgument("server requires a service");
+  }
+  if (options.shm_drain_batch < 1) {
+    return Status::InvalidArgument("shm_drain_batch must be at least 1");
   }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return SocketError("socket");
@@ -52,13 +56,24 @@ Result<std::unique_ptr<Server>> Server::Start(ModelService* service,
 
   std::unique_ptr<Server> server(
       new Server(  // dbs-lint: allow(raw-alloc): private ctor
-          service, fd, ntohs(addr.sin_port)));
+          service, fd, ntohs(addr.sin_port), options));
+  if (options.enable_shm) {
+    ShmServerDrain::Options drain_options;
+    drain_options.drain_batch = options.shm_drain_batch;
+    server->drain_ = std::make_unique<ShmServerDrain>(
+        service, [raw = server.get()] { raw->RequestShutdown(); },
+        drain_options);
+  }
   server->acceptor_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
   return server;
 }
 
-Server::Server(ModelService* service, int listen_fd, uint16_t port)
-    : service_(service), listen_fd_(listen_fd), port_(port) {}
+Server::Server(ModelService* service, int listen_fd, uint16_t port,
+               const ServerOptions& options)
+    : service_(service),
+      listen_fd_(listen_fd),
+      port_(port),
+      options_(options) {}
 
 Server::~Server() { Stop(); }
 
@@ -87,100 +102,79 @@ void Server::HandleConnection(int fd) {
     if (!ServeOne(fd, *frame)) break;
   }
   // Unlink before closing so Stop never touches a recycled descriptor.
+  bool attached = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     connection_fds_.erase(
         std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
         connection_fds_.end());
+    auto it = std::find(shm_fds_.begin(), shm_fds_.end(), fd);
+    if (it != shm_fds_.end()) {
+      shm_fds_.erase(it);
+      attached = true;
+    }
   }
+  // The control connection is the shm session's lifetime anchor: its close
+  // releases the mapping.
+  if (attached && drain_ != nullptr) drain_->Detach(fd);
   ::close(fd);
 }
 
-bool Server::ServeOne(int fd, const Frame& frame) {
-  // Decode failures close the connection after reporting: a peer that sends
-  // a malformed payload cannot be assumed frame-aligned anymore.
-  auto reject = [&](const Status& status) {
-    (void)WriteFrame(fd, MessageType::kErrorResponse,
-                     EncodeErrorResponse(status));
-    return false;
-  };
-  // Service-level errors are normal protocol traffic; keep serving.
-  auto answer_error = [&](const Status& status) {
-    return WriteFrame(fd, MessageType::kErrorResponse,
-                      EncodeErrorResponse(status))
-        .ok();
-  };
-
-  switch (frame.type) {
-    case MessageType::kRegisterRequest: {
-      auto request = DecodeRegisterRequest(frame.payload);
-      if (!request.ok()) return reject(request.status());
-      Status status = service_->Register(*request);
-      if (!status.ok()) return answer_error(status);
-      return WriteFrame(fd, MessageType::kOkResponse, {}).ok();
-    }
-    case MessageType::kEvictRequest: {
-      auto request = DecodeEvictRequest(frame.payload);
-      if (!request.ok()) return reject(request.status());
-      Status status = service_->Evict(*request);
-      if (!status.ok()) return answer_error(status);
-      return WriteFrame(fd, MessageType::kOkResponse, {}).ok();
-    }
-    case MessageType::kDensityRequest: {
-      auto request = DecodeDensityRequest(frame.payload);
-      if (!request.ok()) return reject(request.status());
-      auto response = service_->Density(*request);
-      if (!response.ok()) return answer_error(response.status());
-      return WriteFrame(fd, MessageType::kDensityResponse,
-                        EncodeDensityResponse(*response))
-          .ok();
-    }
-    case MessageType::kSampleRequest: {
-      auto request = DecodeSampleRequest(frame.payload);
-      if (!request.ok()) return reject(request.status());
-      auto response = service_->Sample(*request);
-      if (!response.ok()) return answer_error(response.status());
-      return WriteFrame(fd, MessageType::kSampleResponse,
-                        EncodeSampleResponse(*response))
-          .ok();
-    }
-    case MessageType::kOutlierRequest: {
-      auto request = DecodeOutlierRequest(frame.payload);
-      if (!request.ok()) return reject(request.status());
-      auto response = service_->OutlierScores(*request);
-      if (!response.ok()) return answer_error(response.status());
-      return WriteFrame(fd, MessageType::kOutlierResponse,
-                        EncodeOutlierResponse(*response))
-          .ok();
-    }
-    case MessageType::kPartialFitRequest: {
-      auto request = DecodePartialFitRequest(frame.payload);
-      if (!request.ok()) return reject(request.status());
-      auto response = service_->PartialFit(*request);
-      if (!response.ok()) return answer_error(response.status());
-      return WriteFrame(fd, MessageType::kPartialFitResponse,
-                        EncodePartialKde(*response))
-          .ok();
-    }
-    case MessageType::kStatsRequest: {
-      StatsResponse response = service_->Stats();
-      return WriteFrame(fd, MessageType::kStatsResponse,
-                        EncodeStatsResponse(response))
-          .ok();
-    }
-    case MessageType::kShutdownRequest: {
-      (void)WriteFrame(fd, MessageType::kOkResponse, {});
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        shutdown_requested_ = true;
-      }
-      shutdown_cv_.notify_all();
-      return false;
-    }
-    default:
-      return reject(
-          Status::InvalidArgument("response message sent as a request"));
+Status Server::AttachShm(int fd, const Frame& frame) {
+  DBS_ASSIGN_OR_RETURN(ShmAttachRequest request,
+                       DecodeShmAttachRequest(frame.payload));
+  if (drain_ == nullptr) {
+    return Status::FailedPrecondition(
+        "shm transport disabled on this daemon (transport=tcp)");
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (std::find(shm_fds_.begin(), shm_fds_.end(), fd) != shm_fds_.end()) {
+      return Status::FailedPrecondition(
+          "connection already has an shm session attached");
+    }
+  }
+  DBS_ASSIGN_OR_RETURN(std::unique_ptr<ShmSession> session,
+                       ShmSession::Open(request.name));
+  if (session->ring_bytes() != request.ring_bytes) {
+    return Status::InvalidArgument(
+        "shm region ring capacity disagrees with the attach request");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shm_fds_.push_back(fd);
+  }
+  drain_->Attach(fd, std::move(session));
+  return Status::Ok();
+}
+
+bool Server::ServeOne(int fd, const Frame& frame) {
+  // The attach handshake is transport plumbing for THIS connection, so it
+  // is handled here rather than in the transport-agnostic dispatch. Attach
+  // failures keep the connection open: the client falls back to TCP on it.
+  if (frame.type == MessageType::kShmAttachRequest) {
+    Status status = AttachShm(fd, frame);
+    if (!status.ok()) {
+      return WriteFrame(fd, MessageType::kErrorResponse,
+                        EncodeErrorResponse(status))
+          .ok();
+    }
+    return WriteFrame(fd, MessageType::kOkResponse, {}).ok();
+  }
+
+  DispatchResult result = DispatchFrame(service_, frame);
+  bool write_ok =
+      WriteFrame(fd, result.response.type, result.response.payload).ok();
+  if (result.shutdown) RequestShutdown();
+  return write_ok && !result.close;
+}
+
+void Server::RequestShutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
 }
 
 void Server::WaitForShutdown() {
@@ -209,6 +203,9 @@ void Server::Stop() {
   for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }
+  // Connection threads detach their sessions on exit; stopping the drain
+  // afterwards releases anything that never detached.
+  if (drain_ != nullptr) drain_->Stop();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

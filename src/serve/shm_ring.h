@@ -1,0 +1,168 @@
+// Lock-free single-producer/single-consumer byte ring over a caller-provided
+// memory region — the primitive under the shared-memory serve transport
+// (DESIGN.md §13).
+//
+// Layout: one cache-line-padded control block (producer `head`, consumer
+// `tail` — free-running byte counters on separate lines so the two sides
+// never false-share) followed by a power-of-two data area; positions wrap
+// by masking. A record is [u64 length][length bytes] and may wrap across
+// the data-area boundary, in which case the copy splits in two.
+//
+// Memory-ordering contract:
+//   producer: acquire-load `tail` -> space check -> plain stores of the
+//             record bytes -> release-store `head`.
+//   consumer: acquire-load `head` -> plain loads of the record bytes ->
+//             release-store `tail`.
+// The release/acquire pair on `head` orders the record bytes before the
+// consumer can observe the advanced cursor, so a published record is always
+// complete; the pair on `tail` returns space to the producer only after the
+// bytes were copied out, so the producer never overwrites a record still
+// being read. Exactly one thread may push and one may pop; the two sides
+// may live in different processes mapping the same region
+// (std::atomic<uint64_t> is lock-free and address-free on every supported
+// target).
+//
+// TryPush/TryPop never block and never spin: a full ring fails the push —
+// the caller owns the backpressure policy — and an empty ring fails the
+// pop. A structurally impossible record (zero length, longer than the data
+// area, or extending past the published head) is reported as a corrupt-ring
+// Status: a torn or overwritten frame is rejected, never handed out.
+
+#ifndef DBS_SERVE_SHM_RING_H_
+#define DBS_SERVE_SHM_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace dbs::serve {
+
+class ShmRing {
+ public:
+  // Control block: two cache-line-padded cursors at the head of the region.
+  static constexpr size_t kControlBytes = 128;
+  // Record length prefix.
+  static constexpr size_t kLengthBytes = 8;
+
+  static constexpr bool IsPowerOfTwo(uint64_t v) {
+    return v != 0 && (v & (v - 1)) == 0;
+  }
+
+  // Region bytes required for a ring with `data_bytes` of payload space.
+  static constexpr size_t RegionBytes(size_t data_bytes) {
+    return kControlBytes + data_bytes;
+  }
+
+  ShmRing() = default;
+
+  // Formats `region` (at least RegionBytes(data_bytes) bytes, 8-byte
+  // aligned, data_bytes a power of two) as an empty ring. Exactly one side
+  // formats; the other views the same region via Attach.
+  static ShmRing Create(void* region, size_t data_bytes) {
+    ShmRing ring = Attach(region, data_bytes);
+    // The creator zeroes the cursors before the region name is ever shared,
+    // so the attaching side only sees an initialized control block (the
+    // handshake that publishes the region provides the happens-before).
+    ring.control_->head.store(0, std::memory_order_relaxed);
+    ring.control_->tail.store(0, std::memory_order_relaxed);
+    return ring;
+  }
+
+  // Views an already-formatted region.
+  static ShmRing Attach(void* region, size_t data_bytes) {
+    DBS_ASSERT(IsPowerOfTwo(data_bytes), "ring data size must be 2^k");
+    DBS_ASSERT(data_bytes > kLengthBytes, "ring too small for any record");
+    ShmRing ring;
+    ring.control_ = static_cast<Control*>(region);
+    ring.data_ = static_cast<uint8_t*>(region) + kControlBytes;
+    ring.capacity_ = data_bytes;
+    ring.mask_ = data_bytes - 1;
+    return ring;
+  }
+
+  bool valid() const { return control_ != nullptr; }
+  size_t data_bytes() const { return capacity_; }
+
+  // Largest record payload this ring can ever carry (even when empty).
+  size_t max_record_bytes() const { return capacity_ - kLengthBytes; }
+
+  // Producer side. Appends one record; returns false when the ring lacks
+  // space — immediately, so a full ring surfaces as backpressure the caller
+  // can wait out (kUnavailable-equivalent), never as a busy spin in here.
+  bool TryPush(const uint8_t* data, size_t size) {
+    DBS_ASSERT(size > 0, "empty records are indistinguishable from torn");
+    DBS_ASSERT(size <= max_record_bytes(), "record exceeds ring capacity");
+    const uint64_t head = control_->head.load(std::memory_order_relaxed);
+    const uint64_t tail = control_->tail.load(std::memory_order_acquire);
+    const uint64_t need = kLengthBytes + size;
+    if (capacity_ - (head - tail) < need) return false;
+    const uint64_t length = size;
+    CopyIn(head, reinterpret_cast<const uint8_t*>(&length), kLengthBytes);
+    CopyIn(head + kLengthBytes, data, size);
+    control_->head.store(head + need, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Pops one record into *out (replacing its contents).
+  // Returns true on a record, false when the ring is empty, and an error
+  // Status when the published bytes cannot be a record the producer wrote.
+  Result<bool> TryPop(std::vector<uint8_t>* out) {
+    const uint64_t tail = control_->tail.load(std::memory_order_relaxed);
+    const uint64_t head = control_->head.load(std::memory_order_acquire);
+    const uint64_t avail = head - tail;
+    if (avail == 0) return false;
+    // The producer only ever publishes whole records, so anything shorter
+    // than its own length prefix — or than the length it declares — is a
+    // torn or overwritten frame: reject, never deliver partial bytes.
+    if (avail < kLengthBytes) {
+      return Status::Internal("corrupt shm ring: truncated record length");
+    }
+    uint64_t length = 0;
+    CopyOut(tail, reinterpret_cast<uint8_t*>(&length), kLengthBytes);
+    if (length == 0 || length > max_record_bytes() ||
+        kLengthBytes + length > avail) {
+      return Status::Internal("corrupt shm ring: impossible record length");
+    }
+    out->resize(static_cast<size_t>(length));
+    CopyOut(tail + kLengthBytes, out->data(), out->size());
+    control_->tail.store(tail + kLengthBytes + length,
+                         std::memory_order_release);
+    return true;
+  }
+
+ private:
+  struct Control {
+    // Total bytes ever published / consumed; the difference is the fill.
+    alignas(64) std::atomic<uint64_t> head;
+    alignas(64) std::atomic<uint64_t> tail;
+  };
+  static_assert(sizeof(Control) == kControlBytes);
+  static_assert(std::atomic<uint64_t>::is_always_lock_free);
+
+  // Copy helpers split at the data-area boundary (mask wrapping).
+  void CopyIn(uint64_t pos, const uint8_t* src, size_t n) {
+    const size_t offset = static_cast<size_t>(pos & mask_);
+    const size_t first = n < capacity_ - offset ? n : capacity_ - offset;
+    std::memcpy(data_ + offset, src, first);
+    std::memcpy(data_, src + first, n - first);
+  }
+  void CopyOut(uint64_t pos, uint8_t* dst, size_t n) const {
+    const size_t offset = static_cast<size_t>(pos & mask_);
+    const size_t first = n < capacity_ - offset ? n : capacity_ - offset;
+    std::memcpy(dst, data_ + offset, first);
+    std::memcpy(dst + first, data_, n - first);
+  }
+
+  Control* control_ = nullptr;
+  uint8_t* data_ = nullptr;
+  size_t capacity_ = 0;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace dbs::serve
+
+#endif  // DBS_SERVE_SHM_RING_H_

@@ -1,0 +1,304 @@
+#include "serve/shm_transport.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/dispatch.h"
+#include "serve/service.h"
+
+namespace dbs::serve {
+namespace {
+
+Status ShmError(const char* what, const std::string& name) {
+  return Status::IoError(std::string(what) + " '" + name +
+                         "': " + std::strerror(errno));
+}
+
+// The header is written by the creator before the name is shared and never
+// mutated afterwards, so plain loads are race-free on both sides.
+ShmRegionHeader* HeaderOf(void* map) {
+  return static_cast<ShmRegionHeader*>(map);
+}
+
+uint8_t* RingBase(void* map, int which) {
+  return static_cast<uint8_t*>(map) + sizeof(ShmRegionHeader) +
+         static_cast<size_t>(which) *
+             ShmRing::RegionBytes(HeaderOf(map)->ring_bytes);
+}
+
+}  // namespace
+
+// ---- ShmSession -----------------------------------------------------------
+
+Result<std::unique_ptr<ShmSession>> ShmSession::Create(
+    const std::string& name, size_t ring_bytes) {
+  if (name.empty() || name[0] != '/' || name.size() > kMaxShmName) {
+    return Status::InvalidArgument("bad shm region name: " + name);
+  }
+  if (!ShmRing::IsPowerOfTwo(ring_bytes) || ring_bytes < kMinShmRingBytes ||
+      ring_bytes > kMaxShmRingBytes) {
+    return Status::InvalidArgument(
+        "shm ring capacity must be a power of two in "
+        "[kMinShmRingBytes, kMaxShmRingBytes]");
+  }
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return ShmError("shm_open create", name);
+
+  const size_t bytes = ShmRegionBytes(ring_bytes);
+  std::unique_ptr<ShmSession> session(
+      new ShmSession());  // dbs-lint: allow(raw-alloc): private ctor
+  session->name_ = name;
+  session->unlinked_ = false;
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    Status status = ShmError("ftruncate", name);
+    ::close(fd);
+    return status;  // the session destructor unlinks the half-made region
+  }
+  void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                     0);
+  ::close(fd);  // the mapping keeps the region alive; the fd does not
+  if (map == MAP_FAILED) return ShmError("mmap", name);
+  session->map_ = map;
+  session->map_bytes_ = bytes;
+  session->ring_bytes_ = ring_bytes;
+
+  ShmRegionHeader* header = HeaderOf(map);
+  header->magic = kShmRegionMagic;
+  header->version = kShmRegionVersion;
+  header->ring_bytes = ring_bytes;
+  session->request_ring_ = ShmRing::Create(RingBase(map, 0), ring_bytes);
+  session->response_ring_ = ShmRing::Create(RingBase(map, 1), ring_bytes);
+  return session;
+}
+
+Result<std::unique_ptr<ShmSession>> ShmSession::Open(
+    const std::string& name) {
+  if (name.empty() || name[0] != '/' || name.size() > kMaxShmName) {
+    return Status::InvalidArgument("bad shm region name: " + name);
+  }
+  int fd = ::shm_open(name.c_str(), O_RDWR, 0);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("shm region absent: " + name);
+    }
+    return ShmError("shm_open", name);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status status = ShmError("fstat", name);
+    ::close(fd);
+    return status;
+  }
+  // Validate the header BEFORE trusting any size derived from it (the same
+  // defensive posture as the wire decoders).
+  if (static_cast<size_t>(st.st_size) < sizeof(ShmRegionHeader)) {
+    ::close(fd);
+    return Status::InvalidArgument("shm region too small for its header");
+  }
+  void* map = ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                     PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) return ShmError("mmap", name);
+
+  std::unique_ptr<ShmSession> session(
+      new ShmSession());  // dbs-lint: allow(raw-alloc): private ctor
+  session->map_ = map;
+  session->map_bytes_ = static_cast<size_t>(st.st_size);
+
+  const ShmRegionHeader* header = HeaderOf(map);
+  if (header->magic != kShmRegionMagic) {
+    return Status::InvalidArgument("bad shm region magic");
+  }
+  if (header->version != kShmRegionVersion) {
+    return Status::InvalidArgument("unsupported shm region version");
+  }
+  const uint64_t ring_bytes = header->ring_bytes;
+  if (!ShmRing::IsPowerOfTwo(ring_bytes) || ring_bytes < kMinShmRingBytes ||
+      ring_bytes > kMaxShmRingBytes) {
+    return Status::InvalidArgument("bad shm ring capacity");
+  }
+  if (session->map_bytes_ < ShmRegionBytes(ring_bytes)) {
+    return Status::InvalidArgument("shm region smaller than its header says");
+  }
+  session->ring_bytes_ = static_cast<size_t>(ring_bytes);
+  session->request_ring_ =
+      ShmRing::Attach(RingBase(map, 0), session->ring_bytes_);
+  session->response_ring_ =
+      ShmRing::Attach(RingBase(map, 1), session->ring_bytes_);
+  return session;
+}
+
+ShmSession::~ShmSession() {
+  Unlink();
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+void ShmSession::Unlink() {
+  if (!unlinked_) {
+    ::shm_unlink(name_.c_str());
+    unlinked_ = true;
+  }
+}
+
+// ---- ShmServerDrain -------------------------------------------------------
+
+ShmServerDrain::ShmServerDrain(ModelService* service,
+                               std::function<void()> on_shutdown,
+                               const Options& options)
+    : service_(service),
+      on_shutdown_(std::move(on_shutdown)),
+      options_(options) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+ShmServerDrain::~ShmServerDrain() { Stop(); }
+
+void ShmServerDrain::Attach(int id, std::unique_ptr<ShmSession> session) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto entry = std::make_unique<Entry>();
+    entry->id = id;
+    entry->session = std::move(session);
+    entries_.push_back(std::move(entry));
+  }
+  cv_.notify_all();
+}
+
+void ShmServerDrain::Detach(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_) {
+    if (entry->id == id) entry->dead.store(true, std::memory_order_relaxed);
+  }
+}
+
+void ShmServerDrain::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  stop_flag_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+void ShmServerDrain::Loop() {
+  ShmBackoff backoff;
+  std::vector<Entry*> live;
+  for (;;) {
+    live.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // The drain thread is the only eraser, so the Entry pointers below
+      // stay valid until it loops back here; Attach only appends and
+      // Detach only flips `dead`.
+      std::erase_if(entries_, [](const std::unique_ptr<Entry>& e) {
+        return e->dead.load(std::memory_order_relaxed);
+      });
+      if (stop_) return;
+      if (entries_.empty()) {
+        // Nothing mapped: sleep until an attach or shutdown wakes us.
+        cv_.wait(lock,
+                 [this] { return stop_ || !entries_.empty(); });
+        if (stop_) return;
+      }
+      live.reserve(entries_.size());
+      for (auto& entry : entries_) live.push_back(entry.get());
+    }
+    bool any = false;
+    for (Entry* entry : live) any = DrainOne(entry) || any;
+    if (any) {
+      backoff.Reset();
+    } else {
+      backoff.Step();
+    }
+  }
+}
+
+bool ShmServerDrain::DrainOne(Entry* entry) {
+  bool progressed = false;
+  for (int i = 0;
+       i < options_.drain_batch &&
+       !entry->dead.load(std::memory_order_relaxed);
+       ++i) {
+    auto popped = entry->session->request_ring().TryPop(&scratch_);
+    if (!popped.ok()) {
+      // Torn or overwritten frame: the ring can no longer be trusted to be
+      // frame-aligned — the shm analogue of closing a misbehaving TCP
+      // connection. Best-effort error response, then stop serving it.
+      (void)PushResponse(
+          entry, Frame{MessageType::kErrorResponse,
+                       EncodeErrorResponse(popped.status())});
+      entry->dead.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (!*popped) break;
+    progressed = true;
+
+    size_t consumed = 0;
+    auto frame = DecodeFrame(scratch_.data(), scratch_.size(), &consumed);
+    Frame response;
+    bool close = false;
+    if (!frame.ok() || consumed != scratch_.size()) {
+      Status status = frame.ok() ? Status::InvalidArgument(
+                                       "trailing garbage after shm frame")
+                                 : frame.status();
+      response = {MessageType::kErrorResponse, EncodeErrorResponse(status)};
+      close = true;
+    } else {
+      DispatchResult dispatched = DispatchFrame(service_, *frame);
+      response = std::move(dispatched.response);
+      close = dispatched.close;
+      if (dispatched.shutdown && on_shutdown_) on_shutdown_();
+    }
+    if (!PushResponse(entry, response)) {
+      entry->dead.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (close) {
+      entry->dead.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  return progressed;
+}
+
+bool ShmServerDrain::PushResponse(Entry* entry, const Frame& response) {
+  ShmRing& ring = entry->session->response_ring();
+  std::vector<uint8_t> bytes = EncodeFrame(response.type, response.payload);
+  if (bytes.size() > ring.max_record_bytes()) {
+    // The answer physically cannot travel this ring; substitute an error
+    // the client can act on (retry over TCP or with a bigger ring).
+    bytes = EncodeFrame(
+        MessageType::kErrorResponse,
+        EncodeErrorResponse(Status::Unavailable(
+            "response frame exceeds the shm ring capacity; use a larger "
+            "shm_ring_bytes or transport=tcp")));
+    if (bytes.size() > ring.max_record_bytes()) return false;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.push_deadline;
+  ShmBackoff backoff;
+  while (!ring.TryPush(bytes.data(), bytes.size())) {
+    // Full response ring: the client has in-flight responses it has not
+    // consumed yet. Wait it out briefly — pipelining makes this normal —
+    // but give up on a client that stopped draining entirely.
+    if (backoff.Step()) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      if (stop_flag_.load(std::memory_order_relaxed) ||
+          entry->dead.load(std::memory_order_relaxed)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dbs::serve

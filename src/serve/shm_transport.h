@@ -1,0 +1,199 @@
+// Shared-memory serve transport: region layout, session mapping and the
+// server-side drain thread (DESIGN.md §13).
+//
+// A colocated client creates a POSIX shared-memory region holding a pair of
+// lock-free SPSC rings — request (client produces, daemon consumes) and
+// response (daemon produces, client consumes) — and hands its name to the
+// daemon over the ordinary TCP connection (kShmAttachRequest). From then on
+// every DBSQ frame for that client travels through the rings: no socket
+// copies, no syscall per request. The TCP connection stays open purely as
+// the session's lifetime anchor — when it closes, the daemon detaches the
+// region. The client unlinks the region name right after the handshake, so
+// the kernel reclaims the pages as soon as both sides unmap, crash
+// included.
+//
+// Region layout (all offsets 64-byte aligned):
+//   [ShmRegionHeader 64B][request ring: control+data][response ring: ...]
+//
+// The frames in the rings are the exact bytes EncodeFrame produces for TCP
+// — the codec is transport-agnostic — which is what makes shm responses
+// bitwise identical to TCP responses for the same request stream.
+
+#ifndef DBS_SERVE_SHM_TRANSPORT_H_
+#define DBS_SERVE_SHM_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/shm_ring.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace dbs::serve {
+
+class ModelService;
+
+inline constexpr uint32_t kShmRegionMagic = 0x4d534244;  // "DBSM"
+inline constexpr uint32_t kShmRegionVersion = 1;
+
+struct ShmRegionHeader {
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  // Per-direction ring data capacity (power of two).
+  uint64_t ring_bytes = 0;
+  uint8_t reserved[48] = {};
+};
+static_assert(sizeof(ShmRegionHeader) == 64);
+
+// Total region size for a given per-direction ring capacity.
+constexpr size_t ShmRegionBytes(size_t ring_bytes) {
+  return sizeof(ShmRegionHeader) + 2 * ShmRing::RegionBytes(ring_bytes);
+}
+
+// One mapped region: the two rings plus the fd/mapping that back them.
+// Created (and initialized) by the client; opened read-write by the server
+// after the attach handshake names it. Both sides address the same pages
+// through their own mapping.
+class ShmSession {
+ public:
+  // Client side: creates and formats a fresh region under `name` (a POSIX
+  // shm name, "/..."). Fails if the name exists.
+  static Result<std::unique_ptr<ShmSession>> Create(const std::string& name,
+                                                    size_t ring_bytes);
+
+  // Server side: maps an existing region and validates its header — size,
+  // magic, version, power-of-two capacity. A missing region surfaces as
+  // kNotFound, which is what the client's TCP fallback keys on.
+  static Result<std::unique_ptr<ShmSession>> Open(const std::string& name);
+
+  ~ShmSession();
+  ShmSession(const ShmSession&) = delete;
+  ShmSession& operator=(const ShmSession&) = delete;
+
+  // Removes the region's name from the filesystem namespace; existing
+  // mappings (both sides) live on. Idempotent.
+  void Unlink();
+
+  ShmRing& request_ring() { return request_ring_; }
+  ShmRing& response_ring() { return response_ring_; }
+  size_t ring_bytes() const { return ring_bytes_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  ShmSession() = default;
+
+  std::string name_;
+  bool unlinked_ = true;
+  void* map_ = nullptr;
+  size_t map_bytes_ = 0;
+  size_t ring_bytes_ = 0;
+  ShmRing request_ring_;
+  ShmRing response_ring_;
+};
+
+// Escalating wait for the polling loops on both sides of a ring: yield
+// first (on a colocated core that is usually enough to schedule the peer),
+// then sleep in growing steps capped well below a scheduler quantum so a
+// long-idle ring costs near-zero CPU without wrecking first-request
+// latency. Step() returns true once the backoff has entered the sleeping
+// phase — callers use that as "cheap moment to check peer liveness".
+class ShmBackoff {
+ public:
+  void Reset() { idle_ = 0; }
+  bool Step() {
+    ++idle_;
+    if (idle_ <= kYieldSteps) {
+      std::this_thread::yield();
+      return false;
+    }
+    const int64_t exponent = idle_ - kYieldSteps;
+    const int64_t us = exponent < 5 ? (10 << exponent) : 320;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return true;
+  }
+
+ private:
+  static constexpr int64_t kYieldSteps = 256;
+  int64_t idle_ = 0;
+};
+
+// The daemon's drain thread: sweeps every attached session, pops batches of
+// ready request frames from the request rings, executes them in arrival
+// order through the shared ModelService (the same dispatch path TCP uses)
+// and pushes the response frames back. One thread serves all sessions; the
+// BatchExecutor behind the service is where the actual work parallelizes,
+// exactly as with TCP connections.
+class ShmServerDrain {
+ public:
+  struct Options {
+    // Frames popped per session per sweep: bounds how long one busy session
+    // can monopolize the drain before its neighbors get a turn.
+    int drain_batch = 32;
+    // How long a full response ring may stall the drain before the session
+    // is declared dead (its client has stopped consuming).
+    std::chrono::milliseconds push_deadline{5000};
+  };
+
+  // `service` is not owned and must outlive the drain. `on_shutdown` runs
+  // when a session delivers a shutdown frame (the daemon's WaitForShutdown
+  // hook); it must be callable from the drain thread.
+  ShmServerDrain(ModelService* service, std::function<void()> on_shutdown,
+                 const Options& options);
+  ~ShmServerDrain();
+
+  ShmServerDrain(const ShmServerDrain&) = delete;
+  ShmServerDrain& operator=(const ShmServerDrain&) = delete;
+
+  // Starts draining `session`; `id` keys the later Detach (the server uses
+  // the control-connection fd).
+  void Attach(int id, std::unique_ptr<ShmSession> session);
+
+  // Stops draining the session keyed by `id` and releases its mapping (at
+  // the drain thread's next sweep boundary). Safe for unknown ids.
+  void Detach(int id);
+
+  // Stops and joins the drain thread, releasing every session. Idempotent;
+  // the destructor runs it.
+  void Stop();
+
+ private:
+  struct Entry {
+    int id = 0;
+    std::unique_ptr<ShmSession> session;
+    // Flipped by Detach (connection thread) and by the drain thread itself
+    // on framing violations; the drain erases marked entries at its next
+    // sweep boundary. Atomic because the drain reads it between frames
+    // without taking the registry lock.
+    std::atomic<bool> dead{false};
+  };
+
+  void Loop();
+  // Drains one batch from one session; returns true if any frame moved.
+  bool DrainOne(Entry* entry);
+  // Pushes one response frame, waiting out backpressure up to the deadline.
+  bool PushResponse(Entry* entry, const Frame& response);
+
+  ModelService* service_;
+  std::function<void()> on_shutdown_;
+  Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  bool stop_ = false;
+  std::atomic<bool> stop_flag_{false};
+  std::vector<uint8_t> scratch_;
+  std::thread thread_;
+};
+
+}  // namespace dbs::serve
+
+#endif  // DBS_SERVE_SHM_TRANSPORT_H_

@@ -147,6 +147,13 @@ TEST(UnorderedContainer, FlagsOnlyInDensityCoreAndShard) {
   // must produce identical bytes for every merge order.
   EXPECT_EQ(Rules(LintSource("src/shard/coordinator.cc", bad)),
             std::vector<std::string>{"unordered-container"});
+  // The shm transport files carry the bitwise transport-equivalence
+  // contract, so they are in scope too. (The header snippet needs a guard
+  // so only the rule under test fires.)
+  EXPECT_EQ(Rules(LintSource("src/serve/shm_ring.h", "#pragma once\n" + bad)),
+            std::vector<std::string>{"unordered-container"});
+  EXPECT_EQ(Rules(LintSource("src/serve/shm_transport.cc", bad)),
+            std::vector<std::string>{"unordered-container"});
   // The registry keyed by model name is outside the numeric core.
   EXPECT_TRUE(LintSource("src/serve/model_registry.cc", bad).empty());
   EXPECT_TRUE(LintSource("tests/foo_test.cc", bad).empty());

@@ -6,7 +6,8 @@
 //
 // Multi-process mode (ports= given): each listed dbsd daemon fits ONE shard
 // of the dataset at `in` — a path every daemon must be able to read — via
-// the partial_fit RPC. The serialized partial states are tree-reduced here
+// the partial_fit RPC, all daemons fitting concurrently (one collector
+// thread each). The serialized partial states are tree-reduced here
 // and finalized into a model saved at `out`. Because a shard's partial
 // build is a pure function of (path, options, shard identity), the merged
 // model is bitwise identical to an in-process build with the same shard
@@ -20,6 +21,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -160,32 +162,48 @@ int main(int argc, char** argv) {
     }
     const int64_t num_shards = static_cast<int64_t>(ports.size());
 
-    // One PartialFit RPC per daemon; daemon i owns shard i.
-    std::vector<dbs::density::PartialKde> parts;
-    parts.reserve(ports.size());
-    for (size_t i = 0; i < ports.size(); ++i) {
-      auto client = dbs::serve::Client::Connect(ports[i]);
-      if (!client.ok()) {
-        std::fprintf(stderr, "connect to port %u failed: %s\n",
-                     static_cast<unsigned>(ports[i]),
-                     client.status().ToString().c_str());
-        return 1;
+    // One PartialFit RPC per daemon; daemon i owns shard i. The gathers run
+    // on one thread per daemon so the fits proceed concurrently — each
+    // thread fills its own slot, so the collected order (and therefore the
+    // tree reduction) is identical to the sequential gather.
+    std::vector<dbs::density::PartialKde> parts(ports.size());
+    std::vector<dbs::Status> statuses(ports.size(), dbs::Status::Ok());
+    {
+      std::vector<std::thread> gatherers;
+      gatherers.reserve(ports.size());
+      for (size_t i = 0; i < ports.size(); ++i) {
+        gatherers.emplace_back([&, i] {
+          auto client = dbs::serve::Client::Connect(ports[i]);
+          if (!client.ok()) {
+            statuses[i] = client.status();
+            return;
+          }
+          dbs::serve::PartialFitRequest request;
+          request.path = in;
+          request.shard = static_cast<int64_t>(i);
+          request.num_shards = num_shards;
+          request.num_kernels = kernels;
+          request.bandwidth_scale = bandwidth_scale;
+          request.seed = seed;
+          auto partial = client->PartialFit(request);
+          if (!partial.ok()) {
+            statuses[i] = partial.status();
+            return;
+          }
+          parts[i] = std::move(*partial);
+        });
       }
-      dbs::serve::PartialFitRequest request;
-      request.path = in;
-      request.shard = static_cast<int64_t>(i);
-      request.num_shards = num_shards;
-      request.num_kernels = kernels;
-      request.bandwidth_scale = bandwidth_scale;
-      request.seed = seed;
-      auto partial = client->PartialFit(request);
-      if (!partial.ok()) {
+      for (std::thread& t : gatherers) t.join();
+    }
+    // Report the first failure in port order, matching the sequential
+    // gather's behavior.
+    for (size_t i = 0; i < ports.size(); ++i) {
+      if (!statuses[i].ok()) {
         std::fprintf(stderr, "partial fit on port %u failed: %s\n",
                      static_cast<unsigned>(ports[i]),
-                     partial.status().ToString().c_str());
+                     statuses[i].ToString().c_str());
         return 1;
       }
-      parts.push_back(std::move(*partial));
     }
 
     auto merged = TreeReduce(std::move(parts));

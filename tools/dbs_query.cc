@@ -10,11 +10,20 @@
 //   dbs_query op=evict    name=est
 //   dbs_query op=shutdown
 //
+// Every op also takes [transport=tcp|shm] [pipeline=N]. transport=shm
+// attaches a shared-memory ring pair to a colocated daemon (falling back
+// to TCP, with a note on stderr, when the daemon declines); answers are
+// bitwise identical either way. pipeline=N splits op=density input into N
+// chunks kept in flight concurrently on the one connection.
+//
 // The client fits nothing and never reads the model: it ships points to
 // the daemon and prints/persists what comes back.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "data/dataset_io.h"
 #include "serve/client.h"
@@ -64,19 +73,39 @@ int main(int argc, char** argv) {
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   int64_t port = flags.GetInt("port", 7070);
   std::string host = flags.GetString("host", "127.0.0.1");
+  std::string transport = flags.GetString("transport", "tcp");
+  int64_t pipeline = flags.GetInt("pipeline", 1);
   if (!flags.AllKnown()) return 2;
   if (op.empty()) {
     std::fprintf(stderr,
                  "usage: dbs_query op=register|evict|density|sample|"
                  "outliers|stats|shutdown [name=] [model=] [in=] [out=] "
                  "[a=] [size=] [seed=] [floor=] [k=] [p=] [metric=] "
-                 "[port=] [host=]\n");
+                 "[port=] [host=] [transport=tcp|shm] [pipeline=N]\n");
+    return 2;
+  }
+  if (transport != "tcp" && transport != "shm") {
+    std::fprintf(stderr, "transport must be tcp or shm\n");
+    return 2;
+  }
+  if (pipeline < 1) {
+    std::fprintf(stderr, "pipeline must be at least 1\n");
     return 2;
   }
 
-  auto client =
-      dbs::serve::Client::Connect(static_cast<uint16_t>(port), host);
+  dbs::serve::ClientOptions client_opts;
+  client_opts.host = host;
+  client_opts.transport = transport == "shm"
+                              ? dbs::serve::TransportKind::kShm
+                              : dbs::serve::TransportKind::kTcp;
+  auto client = dbs::serve::Client::Connect(static_cast<uint16_t>(port),
+                                            client_opts);
   if (!client.ok()) return Fail(client.status(), "connect");
+  if (client_opts.transport == dbs::serve::TransportKind::kShm &&
+      client->transport() == dbs::serve::TransportKind::kTcp) {
+    std::fprintf(stderr, "note: shm unavailable, using tcp (%s)\n",
+                 client->shm_status().ToString().c_str());
+  }
 
   if (op == "register") {
     dbs::Status status = client->RegisterModel(name, model);
@@ -121,20 +150,49 @@ int main(int argc, char** argv) {
   if (op == "density") {
     auto points = LoadPoints(in);
     if (!points.ok()) return Fail(points.status(), "load points");
-    dbs::serve::DensityBatchRequest request;
-    request.model = name;
-    request.points = std::move(points).value();
-    auto response = client->Density(request);
-    if (!response.ok()) return Fail(response.status(), "density");
+
+    // pipeline=N splits the batch into N contiguous chunks kept in flight
+    // concurrently on the one connection; concatenated in order, the
+    // densities are identical to the single-request answer.
+    const int64_t total = points->size();
+    int64_t chunks = std::min<int64_t>(pipeline, std::max<int64_t>(total, 1));
+    std::vector<dbs::serve::DensityBatchRequest> requests;
+    requests.reserve(static_cast<size_t>(chunks));
+    if (chunks == 1) {
+      dbs::serve::DensityBatchRequest request;
+      request.model = name;
+      request.points = std::move(points).value();
+      requests.push_back(std::move(request));
+    } else {
+      for (int64_t c = 0; c < chunks; ++c) {
+        const int64_t begin = c * total / chunks;
+        const int64_t end = (c + 1) * total / chunks;
+        dbs::serve::DensityBatchRequest request;
+        request.model = name;
+        request.points = dbs::data::PointSet(points->dim());
+        request.points.Reserve(end - begin);
+        for (int64_t i = begin; i < end; ++i) {
+          request.points.Append((*points)[i]);
+        }
+        requests.push_back(std::move(request));
+      }
+    }
+    auto responses =
+        client->DensityPipelined(requests, static_cast<int>(chunks));
+    if (!responses.ok()) return Fail(responses.status(), "density");
+    std::vector<double> densities;
+    densities.reserve(static_cast<size_t>(total));
+    for (const auto& response : *responses) {
+      densities.insert(densities.end(), response.densities.begin(),
+                       response.densities.end());
+    }
     double sum = 0;
-    for (double d : response->densities) sum += d;
-    std::printf("density: %zu points, mean f = %.6g\n",
-                response->densities.size(),
-                response->densities.empty()
+    for (double d : densities) sum += d;
+    std::printf("density: %zu points, mean f = %.6g\n", densities.size(),
+                densities.empty()
                     ? 0.0
-                    : sum / static_cast<double>(response->densities.size()));
-    if (!out.empty() &&
-        !WriteCsv(out, response->densities, "index,density")) {
+                    : sum / static_cast<double>(densities.size()));
+    if (!out.empty() && !WriteCsv(out, densities, "index,density")) {
       std::fprintf(stderr, "cannot write %s\n", out.c_str());
       return 1;
     }

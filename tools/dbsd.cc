@@ -1,6 +1,7 @@
 // dbsd — the model-serving daemon.
 //
-//   dbsd [port=7070] [workers=4] [queue=256] [model=name:est.dbsk]...
+//   dbsd [port=7070] [workers=4] [queue=256] [transport=shm|tcp]
+//        [model=name:est.dbsk]...
 //
 // Serves the dbs wire protocol on loopback TCP: clients register saved
 // .dbsk estimators by name and then issue density-batch, biased-sample and
@@ -8,6 +9,10 @@
 // picks an ephemeral port; the bound port is printed either way, so
 // scripts can parse it. The daemon runs until a client sends a shutdown
 // request (dbs_query op=shutdown).
+//
+// transport=shm (the default) additionally accepts shared-memory ring
+// upgrades from colocated clients (dbs_query transport=shm); transport=tcp
+// declines them, forcing every client onto plain TCP.
 //
 // `model=` flags preload models at startup; repeatable as model, model2,
 // model3, ... since the flag parser keeps one value per key.
@@ -29,6 +34,7 @@ int main(int argc, char** argv) {
   int64_t port = flags.GetInt("port", 7070);
   int64_t workers = flags.GetInt("workers", 4);
   int64_t queue = flags.GetInt("queue", 256);
+  std::string transport = flags.GetString("transport", "shm");
 
   // Preload flags: model=, model2=, model3=, ... each "name:path".
   std::vector<std::pair<std::string, std::string>> preload;
@@ -48,6 +54,10 @@ int main(int argc, char** argv) {
   if (!flags.AllKnown()) return 2;
   if (port < 0 || port > 65535) {
     std::fprintf(stderr, "port must be in [0, 65535]\n");
+    return 2;
+  }
+  if (transport != "shm" && transport != "tcp") {
+    std::fprintf(stderr, "transport must be shm or tcp\n");
     return 2;
   }
 
@@ -70,15 +80,19 @@ int main(int argc, char** argv) {
 
   dbs::serve::ServerOptions server_opts;
   server_opts.port = static_cast<uint16_t>(port);
+  server_opts.enable_shm = transport == "shm";
   auto server = dbs::serve::Server::Start(&service, server_opts);
   if (!server.ok()) {
     std::fprintf(stderr, "start failed: %s\n",
                  server.status().ToString().c_str());
     return 1;
   }
-  std::printf("dbsd: listening on 127.0.0.1:%u (%d workers, queue %lld)\n",
-              (*server)->port(), executor.num_workers(),
-              static_cast<long long>(queue));
+  std::printf(
+      "dbsd: listening on 127.0.0.1:%u (%d workers, queue %lld, "
+      "transport %s)\n",
+      (*server)->port(), executor.num_workers(),
+      static_cast<long long>(queue),
+      server_opts.enable_shm ? "tcp+shm" : "tcp");
   std::fflush(stdout);
 
   (*server)->WaitForShutdown();

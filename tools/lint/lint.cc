@@ -235,9 +235,14 @@ void CheckRawAlloc(RuleContext& ctx) {
 // --- unordered-container ----------------------------------------------------
 
 void CheckUnorderedContainer(RuleContext& ctx) {
+  // The shm transport files join the scope: their frame paths feed the
+  // bitwise transport-equivalence contract, so no hash-order iteration
+  // there either. (The rest of src/serve/ stays exempt — the model
+  // registry legitimately keys models by hash.)
   if (!StartsWith(ctx.path, "src/density/") &&
       !StartsWith(ctx.path, "src/core/") &&
-      !StartsWith(ctx.path, "src/shard/")) {
+      !StartsWith(ctx.path, "src/shard/") &&
+      !StartsWith(ctx.path, "src/serve/shm_")) {
     return;
   }
   for (size_t i = 0; i < ctx.lines.size(); ++i) {

@@ -19,7 +19,8 @@
 //                      (`= delete` declarations are not allocations and
 //                      are ignored.)
 //   unordered-container no std::unordered_map / std::unordered_set in
-//                      src/density/, src/core/ and src/shard/ — hash-order
+//                      src/density/, src/core/, src/shard/ and the
+//                      src/serve/shm_* transport files — hash-order
 //                      iteration is what broke bitwise reproducibility
 //                      before the flat sorted table; keep it out of the
 //                      numeric core and the shard merge/fan-out paths,
