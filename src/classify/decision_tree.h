@@ -34,7 +34,7 @@ class DecisionTree {
  public:
   // Trains on `points` with integer class labels >= 0. `weights` empty
   // (all 1) or one positive entry per point.
-  static Result<DecisionTree> Train(const data::PointSet& points,
+  [[nodiscard]] static Result<DecisionTree> Train(const data::PointSet& points,
                                     const std::vector<int32_t>& labels,
                                     const std::vector<double>& weights,
                                     const DecisionTreeOptions& options);

@@ -77,7 +77,7 @@ std::vector<ClusteringFeature> Agglomerate(std::vector<ClusteringFeature> cfs,
 
 }  // namespace
 
-Result<BirchResult> RunBirch(data::DataScan& scan,
+[[nodiscard]] Result<BirchResult> RunBirch(data::DataScan& scan,
                                      const BirchOptions& options) {
   if (options.num_clusters <= 0) {
     return Status::InvalidArgument("num_clusters must be positive");
@@ -115,7 +115,7 @@ Result<BirchResult> RunBirch(data::DataScan& scan,
   return result;
 }
 
-Result<BirchResult> RunBirch(const data::PointSet& points,
+[[nodiscard]] Result<BirchResult> RunBirch(const data::PointSet& points,
                                      const BirchOptions& options) {
   data::InMemoryScan scan(&points);
   return RunBirch(scan, options);

@@ -42,10 +42,10 @@ struct BirchResult {
 };
 
 // Runs phase 1 over `scan` (exactly one pass) and phase 3 in memory.
-Result<BirchResult> RunBirch(data::DataScan& scan,
+[[nodiscard]] Result<BirchResult> RunBirch(data::DataScan& scan,
                                      const BirchOptions& options);
 
-Result<BirchResult> RunBirch(const data::PointSet& points,
+[[nodiscard]] Result<BirchResult> RunBirch(const data::PointSet& points,
                                      const BirchOptions& options);
 
 }  // namespace dbs::cluster

@@ -66,7 +66,7 @@ struct CfTreeOptions {
 class CfTree {
  public:
   // Creates an empty tree for points of dimensionality `dim`.
-  static Result<CfTree> Create(int dim, const CfTreeOptions& options);
+  [[nodiscard]] static Result<CfTree> Create(int dim, const CfTreeOptions& options);
 
   CfTree(CfTree&&) = default;
   CfTree& operator=(CfTree&&) = default;

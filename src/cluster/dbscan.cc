@@ -63,7 +63,7 @@ data::PointSet SelectRepresentatives(const data::PointSet& points,
 
 }  // namespace
 
-Result<ClusteringResult> DbscanCluster(const data::PointSet& points,
+[[nodiscard]] Result<ClusteringResult> DbscanCluster(const data::PointSet& points,
                                        const DbscanOptions& options,
                                        int max_representatives) {
   if (options.epsilon <= 0) {

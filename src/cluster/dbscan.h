@@ -35,7 +35,7 @@ struct DbscanOptions {
 // Cluster representatives are the cluster's core points, capped at
 // `max_representatives` chosen by the scattered-point heuristic (so the
 // eval::MatchClusters metric applies unchanged).
-Result<ClusteringResult> DbscanCluster(const data::PointSet& points,
+[[nodiscard]] Result<ClusteringResult> DbscanCluster(const data::PointSet& points,
                                        const DbscanOptions& options,
                                        int max_representatives = 10);
 

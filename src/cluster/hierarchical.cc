@@ -220,7 +220,7 @@ class RepIndex {
 
 }  // namespace
 
-Result<ClusteringResult> HierarchicalCluster(
+[[nodiscard]] Result<ClusteringResult> HierarchicalCluster(
     const data::PointSet& points, const HierarchicalOptions& options) {
   DBS_RETURN_IF_ERROR(internal::ValidateHierarchicalArgs(points, options));
   const int64_t n = points.size();

@@ -71,13 +71,13 @@ struct HierarchicalOptions {
 // cluster repair, and a batched SoA distance kernel for the per-merge
 // scoring pass (DESIGN.md §11). Output is bitwise identical to
 // HierarchicalClusterReference.
-Result<ClusteringResult> HierarchicalCluster(const data::PointSet& points,
+[[nodiscard]] Result<ClusteringResult> HierarchicalCluster(const data::PointSet& points,
                                              const HierarchicalOptions& options);
 
 // Frozen pre-acceleration implementation, kept as the equivalence oracle
 // for tests and bench/micro_cluster. Quadratic scans; ignores
 // `options.executor`. Do not use outside verification.
-Result<ClusteringResult> HierarchicalClusterReference(
+[[nodiscard]] Result<ClusteringResult> HierarchicalClusterReference(
     const data::PointSet& points, const HierarchicalOptions& options);
 
 }  // namespace dbs::cluster

@@ -8,7 +8,7 @@
 
 namespace dbs::cluster::internal {
 
-Status ValidateHierarchicalArgs(const data::PointSet& points,
+[[nodiscard]] Status ValidateHierarchicalArgs(const data::PointSet& points,
                                 const HierarchicalOptions& options) {
   if (options.num_clusters <= 0) {
     return Status::InvalidArgument("num_clusters must be positive");

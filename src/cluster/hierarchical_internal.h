@@ -19,7 +19,7 @@
 namespace dbs::cluster::internal {
 
 // Argument validation shared by both implementations.
-Status ValidateHierarchicalArgs(const data::PointSet& points,
+[[nodiscard]] Status ValidateHierarchicalArgs(const data::PointSet& points,
                                 const HierarchicalOptions& options);
 
 // Selects up to `c` well-scattered points from `candidates` via the

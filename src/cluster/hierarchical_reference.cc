@@ -62,7 +62,7 @@ void RecomputeClosest(std::vector<Node>& nodes, int32_t id) {
 
 }  // namespace
 
-Result<ClusteringResult> HierarchicalClusterReference(
+[[nodiscard]] Result<ClusteringResult> HierarchicalClusterReference(
     const data::PointSet& points, const HierarchicalOptions& options) {
   DBS_RETURN_IF_ERROR(internal::ValidateHierarchicalArgs(points, options));
   const int64_t n = points.size();

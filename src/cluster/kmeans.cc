@@ -71,7 +71,7 @@ data::PointSet SeedCenters(const data::PointSet& points,
 
 }  // namespace
 
-Result<KMeansResult> KMeansCluster(const data::PointSet& points,
+[[nodiscard]] Result<KMeansResult> KMeansCluster(const data::PointSet& points,
                                    const std::vector<double>& weights,
                                    const KMeansOptions& options) {
   const int64_t n = points.size();

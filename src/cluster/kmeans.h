@@ -38,7 +38,7 @@ struct KMeansResult {
 
 // `weights` must be empty (all points weigh 1) or have one positive entry
 // per point.
-Result<KMeansResult> KMeansCluster(const data::PointSet& points,
+[[nodiscard]] Result<KMeansResult> KMeansCluster(const data::PointSet& points,
                                    const std::vector<double>& weights,
                                    const KMeansOptions& options);
 

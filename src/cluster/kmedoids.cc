@@ -64,7 +64,7 @@ std::vector<int64_t> SeedMedoids(const data::PointSet& points,
 
 }  // namespace
 
-Result<KMedoidsResult> KMedoidsCluster(const data::PointSet& points,
+[[nodiscard]] Result<KMedoidsResult> KMedoidsCluster(const data::PointSet& points,
                                        const std::vector<double>& weights,
                                        const KMedoidsOptions& options) {
   const int64_t n = points.size();

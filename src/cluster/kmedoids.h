@@ -43,7 +43,7 @@ struct KMedoidsResult {
 };
 
 // `weights` empty (all 1) or one positive entry per point.
-Result<KMedoidsResult> KMedoidsCluster(const data::PointSet& points,
+[[nodiscard]] Result<KMedoidsResult> KMedoidsCluster(const data::PointSet& points,
                                        const std::vector<double>& weights,
                                        const KMedoidsOptions& options);
 

@@ -112,13 +112,13 @@ Result<double> BiasedSampler::FinalizeNormalizer(
   return k_a;
 }
 
-Result<PartialNormalizer> MergePartialNormalizers(PartialNormalizer a,
+[[nodiscard]] Result<PartialNormalizer> MergePartialNormalizers(PartialNormalizer a,
                                                   PartialNormalizer b) {
   DBS_RETURN_IF_ERROR(MergeShardParts(&a.parts, std::move(b.parts)));
   return a;
 }
 
-Result<PartialSample> MergePartialSamples(PartialSample a, PartialSample b) {
+[[nodiscard]] Result<PartialSample> MergePartialSamples(PartialSample a, PartialSample b) {
   if (!a.parts.empty() && !b.parts.empty() &&
       a.parts.front().points.dim() != b.parts.front().points.dim()) {
     return Status::InvalidArgument(

@@ -90,9 +90,9 @@ struct PartialSample {
   std::vector<SampleShardPart> parts;
 };
 
-Result<PartialNormalizer> MergePartialNormalizers(PartialNormalizer a,
+[[nodiscard]] Result<PartialNormalizer> MergePartialNormalizers(PartialNormalizer a,
                                                   PartialNormalizer b);
-Result<PartialSample> MergePartialSamples(PartialSample a, PartialSample b);
+[[nodiscard]] Result<PartialSample> MergePartialSamples(PartialSample a, PartialSample b);
 
 struct BiasedSamplerOptions {
   // The density exponent `a`.
@@ -119,18 +119,18 @@ class BiasedSampler {
 
   // Two-pass exact algorithm (paper Fig 1). `estimator` must have been
   // fitted on the same data. Any DensityEstimator works.
-  Result<BiasedSample> Run(data::DataScan& scan,
+  [[nodiscard]] Result<BiasedSample> Run(data::DataScan& scan,
                            const density::DensityEstimator& estimator) const;
 
-  Result<BiasedSample> Run(const data::PointSet& points,
+  [[nodiscard]] Result<BiasedSample> Run(const data::PointSet& points,
                            const density::DensityEstimator& estimator) const;
 
   // One-pass integrated variant; requires a Kde (the normalizer estimate
   // comes from its kernel centers).
-  Result<BiasedSample> RunOnePass(data::DataScan& scan,
+  [[nodiscard]] Result<BiasedSample> RunOnePass(data::DataScan& scan,
                                   const density::Kde& kde) const;
 
-  Result<BiasedSample> RunOnePass(const data::PointSet& points,
+  [[nodiscard]] Result<BiasedSample> RunOnePass(const data::PointSet& points,
                                   const density::Kde& kde) const;
 
   // The inclusion probability the sampler would assign to density value f
@@ -142,21 +142,21 @@ class BiasedSampler {
   // wrap the full dataset in a data::RangeScan. Run is implemented as the
   // num_shards == 1 instance of these, which pins the shards=1 path bitwise
   // identical to the historical two-pass algorithm.
-  Result<PartialNormalizer> NormalizerPartial(
+  [[nodiscard]] Result<PartialNormalizer> NormalizerPartial(
       data::DataScan& scan, const density::DensityEstimator& estimator,
       const ShardInfo& info) const;
   // Reduces a COMPLETE normalizer state to k_a (ascending shard order).
-  Result<double> FinalizeNormalizer(const PartialNormalizer& partial) const;
+  [[nodiscard]] Result<double> FinalizeNormalizer(const PartialNormalizer& partial) const;
   // Sampling pass over one shard with the shard-seeded Bernoulli stream.
-  Result<PartialSample> SamplePartial(
+  [[nodiscard]] Result<PartialSample> SamplePartial(
       data::DataScan& scan, const density::DensityEstimator& estimator,
       double normalizer, const ShardInfo& info) const;
   // Concatenates a COMPLETE sample state in ascending shard order.
-  Result<BiasedSample> FinalizeSample(PartialSample partial,
+  [[nodiscard]] Result<BiasedSample> FinalizeSample(PartialSample partial,
                                       double normalizer) const;
 
  private:
-  Result<BiasedSample> SampleWithNormalizer(
+  [[nodiscard]] Result<BiasedSample> SampleWithNormalizer(
       data::DataScan& scan, const density::DensityEstimator& estimator,
       double normalizer) const;
 

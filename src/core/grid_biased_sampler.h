@@ -38,10 +38,10 @@ class GridBiasedSampler {
   explicit GridBiasedSampler(const GridBiasedSamplerOptions& options);
 
   // One sampling pass; `grid` must have been fitted on the same data.
-  Result<BiasedSample> Run(data::DataScan& scan,
+  [[nodiscard]] Result<BiasedSample> Run(data::DataScan& scan,
                            const density::GridDensity& grid) const;
 
-  Result<BiasedSample> Run(const data::PointSet& points,
+  [[nodiscard]] Result<BiasedSample> Run(const data::PointSet& points,
                            const density::GridDensity& grid) const;
 
  private:

@@ -123,7 +123,7 @@ class StreamingKde final : public density::DensityEstimator {
 
 }  // namespace
 
-Result<BiasedSample> StreamingBiasedSample(
+[[nodiscard]] Result<BiasedSample> StreamingBiasedSample(
     data::DataScan& scan, const StreamingSamplerOptions& options) {
   if (options.target_size <= 0) {
     return Status::InvalidArgument("target_size must be positive");
@@ -245,7 +245,7 @@ Result<BiasedSample> StreamingBiasedSample(
   return sample;
 }
 
-Result<BiasedSample> StreamingBiasedSample(
+[[nodiscard]] Result<BiasedSample> StreamingBiasedSample(
     const data::PointSet& points, const StreamingSamplerOptions& options) {
   data::InMemoryScan scan(&points);
   return StreamingBiasedSample(scan, options);

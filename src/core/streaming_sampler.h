@@ -81,10 +81,10 @@ struct StreamingSamplerOptions {
 };
 
 // Draws the biased sample in a single pass over `scan`.
-Result<BiasedSample> StreamingBiasedSample(
+[[nodiscard]] Result<BiasedSample> StreamingBiasedSample(
     data::DataScan& scan, const StreamingSamplerOptions& options);
 
-Result<BiasedSample> StreamingBiasedSample(
+[[nodiscard]] Result<BiasedSample> StreamingBiasedSample(
     const data::PointSet& points, const StreamingSamplerOptions& options);
 
 }  // namespace dbs::core

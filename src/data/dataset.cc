@@ -27,7 +27,7 @@ bool InMemoryScan::NextBatch(ScanBatch* batch) {
   return true;
 }
 
-Result<PointSet> ReadAll(DataScan& scan) {
+[[nodiscard]] Result<PointSet> ReadAll(DataScan& scan) {
   PointSet out(scan.dim());
   out.Reserve(scan.size());
   scan.Reset();

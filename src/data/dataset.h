@@ -76,7 +76,7 @@ class InMemoryScan : public DataScan {
 };
 
 // Reads the entire scan into a PointSet (one pass).
-Result<PointSet> ReadAll(DataScan& scan);
+[[nodiscard]] Result<PointSet> ReadAll(DataScan& scan);
 
 }  // namespace dbs::data
 

@@ -18,7 +18,7 @@ static_assert(sizeof(FileHeader) == 32, "header must be 32 bytes");
 
 }  // namespace
 
-Status WriteDatasetFile(const std::string& path, const PointSet& points) {
+[[nodiscard]] Status WriteDatasetFile(const std::string& path, const PointSet& points) {
   if (points.dim() <= 0) {
     return Status::InvalidArgument("cannot write a dimensionless point set");
   }
@@ -41,7 +41,7 @@ Status WriteDatasetFile(const std::string& path, const PointSet& points) {
   return Status::Ok();
 }
 
-Result<PointSet> ReadDatasetFile(const std::string& path) {
+[[nodiscard]] Result<PointSet> ReadDatasetFile(const std::string& path) {
   DBS_ASSIGN_OR_RETURN(auto scan, FileScan::Open(path));
   return ReadAll(*scan);
 }

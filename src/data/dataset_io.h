@@ -26,10 +26,10 @@ inline constexpr uint32_t kDatasetMagic = 0x46534244;  // "DBSF" little-endian
 inline constexpr uint32_t kDatasetVersion = 1;
 
 // Writes `points` to `path` in .dbsf format, overwriting any existing file.
-Status WriteDatasetFile(const std::string& path, const PointSet& points);
+[[nodiscard]] Status WriteDatasetFile(const std::string& path, const PointSet& points);
 
 // Reads a whole .dbsf file into memory.
-Result<PointSet> ReadDatasetFile(const std::string& path);
+[[nodiscard]] Result<PointSet> ReadDatasetFile(const std::string& path);
 
 // Streaming scan over a .dbsf file. Owns the file handle.
 //
@@ -46,7 +46,7 @@ Result<PointSet> ReadDatasetFile(const std::string& path);
 class FileScan : public DataScan {
  public:
   // Opens `path`, validating the header.
-  static Result<std::unique_ptr<FileScan>> Open(const std::string& path,
+  [[nodiscard]] static Result<std::unique_ptr<FileScan>> Open(const std::string& path,
                                                 int64_t batch_rows = 4096,
                                                 bool double_buffered = false);
 
@@ -88,6 +88,9 @@ class FileScan : public DataScan {
   bool double_buffered_ = false;
   std::vector<double> prefetch_buffer_;
   std::thread prefetch_thread_;
+  // Guards the fill handshake state below (fill_requested_/fill_done_/
+  // shutdown_/fill_want_/fill_got_). Leaf lock: never held while calling
+  // out or taking another lock.
   std::mutex mu_;
   std::condition_variable fill_requested_cv_;
   std::condition_variable fill_done_cv_;

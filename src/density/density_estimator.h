@@ -36,7 +36,7 @@ class DensityEstimator {
   // call can fail with kUnavailable under queue backpressure, in which case
   // `out` contents are unspecified; without one it always succeeds. Must
   // not be called from an executor worker thread (ParallelFor blocks).
-  virtual Status EvaluateBatch(const double* rows, int64_t count, double* out,
+  [[nodiscard]] virtual Status EvaluateBatch(const double* rows, int64_t count, double* out,
                                parallel::BatchExecutor* executor =
                                    nullptr) const;
 
@@ -44,7 +44,7 @@ class DensityEstimator {
   // row i), i.e. each point excludes its own contribution — the form the
   // outlier scorer consumes. Same bitwise/backpressure contract as
   // EvaluateBatch.
-  virtual Status EvaluateExcludingBatch(const double* rows, int64_t count,
+  [[nodiscard]] virtual Status EvaluateExcludingBatch(const double* rows, int64_t count,
                                         double* out,
                                         parallel::BatchExecutor* executor =
                                             nullptr) const;
@@ -55,7 +55,7 @@ class DensityEstimator {
   // the QMC ball integrator consumes: every probe row excludes the mass of
   // the ball CENTER it was expanded from, not the probe location itself.
   // Same bitwise/backpressure contract as EvaluateBatch.
-  virtual Status EvaluateExcludingSelvesBatch(const double* rows,
+  [[nodiscard]] virtual Status EvaluateExcludingSelvesBatch(const double* rows,
                                               const double* selves,
                                               int64_t count, double* out,
                                               parallel::BatchExecutor*

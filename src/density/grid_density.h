@@ -40,9 +40,9 @@ struct GridDensityOptions {
 class GridDensity final : public DensityEstimator {
  public:
   // Builds the summary in one pass (two if bounds must be discovered).
-  static Result<GridDensity> Fit(data::DataScan& scan,
+  [[nodiscard]] static Result<GridDensity> Fit(data::DataScan& scan,
                                  const GridDensityOptions& options);
-  static Result<GridDensity> Fit(const data::PointSet& points,
+  [[nodiscard]] static Result<GridDensity> Fit(const data::PointSet& points,
                                  const GridDensityOptions& options);
 
   int dim() const override { return dim_; }
@@ -63,14 +63,14 @@ class GridDensity final : public DensityEstimator {
   // point. Identical operands give identical doubles, so results stay
   // bitwise equal to the scalar calls; same executor/backpressure contract
   // as the base class.
-  Status EvaluateBatch(const double* rows, int64_t count, double* out,
+  [[nodiscard]] Status EvaluateBatch(const double* rows, int64_t count, double* out,
                        parallel::BatchExecutor* executor =
                            nullptr) const override;
-  Status EvaluateExcludingBatch(const double* rows, int64_t count,
+  [[nodiscard]] Status EvaluateExcludingBatch(const double* rows, int64_t count,
                                 double* out,
                                 parallel::BatchExecutor* executor =
                                     nullptr) const override;
-  Status EvaluateExcludingSelvesBatch(const double* rows,
+  [[nodiscard]] Status EvaluateExcludingSelvesBatch(const double* rows,
                                       const double* selves, int64_t count,
                                       double* out,
                                       parallel::BatchExecutor* executor =

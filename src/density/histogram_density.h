@@ -30,9 +30,9 @@ struct HistogramDensityOptions {
 
 class HistogramDensity final : public DensityEstimator {
  public:
-  static Result<HistogramDensity> Fit(data::DataScan& scan,
+  [[nodiscard]] static Result<HistogramDensity> Fit(data::DataScan& scan,
                                       const HistogramDensityOptions& options);
-  static Result<HistogramDensity> Fit(const data::PointSet& points,
+  [[nodiscard]] static Result<HistogramDensity> Fit(const data::PointSet& points,
                                       const HistogramDensityOptions& options);
 
   int dim() const override { return dim_; }
@@ -51,14 +51,14 @@ class HistogramDensity final : public DensityEstimator {
   // count lookup + division per cell group (see grid_density.h — same
   // design, exact cells instead of hashed buckets). Bitwise equal to the
   // scalar calls; same executor/backpressure contract as the base class.
-  Status EvaluateBatch(const double* rows, int64_t count, double* out,
+  [[nodiscard]] Status EvaluateBatch(const double* rows, int64_t count, double* out,
                        parallel::BatchExecutor* executor =
                            nullptr) const override;
-  Status EvaluateExcludingBatch(const double* rows, int64_t count,
+  [[nodiscard]] Status EvaluateExcludingBatch(const double* rows, int64_t count,
                                 double* out,
                                 parallel::BatchExecutor* executor =
                                     nullptr) const override;
-  Status EvaluateExcludingSelvesBatch(const double* rows,
+  [[nodiscard]] Status EvaluateExcludingSelvesBatch(const double* rows,
                                       const double* selves, int64_t count,
                                       double* out,
                                       parallel::BatchExecutor* executor =

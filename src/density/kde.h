@@ -68,10 +68,10 @@ struct KdeOptions {
 class Kde final : public DensityEstimator {
  public:
   // Builds the estimator in a single pass over `scan`.
-  static Result<Kde> Fit(data::DataScan& scan, const KdeOptions& options);
+  [[nodiscard]] static Result<Kde> Fit(data::DataScan& scan, const KdeOptions& options);
 
   // Convenience overload for in-memory data (still a single logical pass).
-  static Result<Kde> Fit(const data::PointSet& points,
+  [[nodiscard]] static Result<Kde> Fit(const data::PointSet& points,
                          const KdeOptions& options);
 
   // Sharded build (DESIGN.md §12): scans one shard's slice and emits a
@@ -82,7 +82,7 @@ class Kde final : public DensityEstimator {
   // FinalizeKde over all shards' partials reconstructs a model of the same
   // shape Fit builds — bitwise identical to Fit when info.num_shards == 1
   // (Fit itself is implemented as FitPartial + FinalizeKde).
-  static Result<PartialKde> FitPartial(data::DataScan& scan,
+  [[nodiscard]] static Result<PartialKde> FitPartial(data::DataScan& scan,
                                        const KdeOptions& options,
                                        const ShardInfo& info);
 
@@ -97,14 +97,14 @@ class Kde final : public DensityEstimator {
 
   // Tuned batch paths (see header comment): bitwise identical to the
   // per-point calls, kUnavailable only under executor backpressure.
-  Status EvaluateBatch(const double* rows, int64_t count, double* out,
+  [[nodiscard]] Status EvaluateBatch(const double* rows, int64_t count, double* out,
                        parallel::BatchExecutor* executor =
                            nullptr) const override;
-  Status EvaluateExcludingBatch(const double* rows, int64_t count,
+  [[nodiscard]] Status EvaluateExcludingBatch(const double* rows, int64_t count,
                                 double* out,
                                 parallel::BatchExecutor* executor =
                                     nullptr) const override;
-  Status EvaluateExcludingSelvesBatch(const double* rows,
+  [[nodiscard]] Status EvaluateExcludingSelvesBatch(const double* rows,
                                       const double* selves, int64_t count,
                                       double* out,
                                       parallel::BatchExecutor* executor =
@@ -143,7 +143,7 @@ class Kde final : public DensityEstimator {
     data::BoundingBox bounds;
   };
   State ExportState() const;
-  static Result<Kde> FromState(State state, bool rebuild_index = true);
+  [[nodiscard]] static Result<Kde> FromState(State state, bool rebuild_index = true);
 
  private:
   struct TileScratch;

@@ -27,7 +27,7 @@ bool ReadDoubles(std::FILE* f, double* data, size_t count) {
 
 }  // namespace
 
-Status SaveKde(const Kde& kde, const std::string& path) {
+[[nodiscard]] Status SaveKde(const Kde& kde, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IoError("cannot open for writing: " + path);
@@ -56,7 +56,7 @@ Status SaveKde(const Kde& kde, const std::string& path) {
   return Status::Ok();
 }
 
-Result<Kde> LoadKde(const std::string& path, bool rebuild_index) {
+[[nodiscard]] Result<Kde> LoadKde(const std::string& path, bool rebuild_index) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IoError("cannot open for reading: " + path);

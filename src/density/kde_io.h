@@ -21,11 +21,11 @@ inline constexpr uint32_t kKdeMagic = 0x4b534244;  // "DBSK" little-endian
 inline constexpr uint32_t kKdeVersion = 1;
 
 // Writes the fitted model to `path` (overwrites).
-Status SaveKde(const Kde& kde, const std::string& path);
+[[nodiscard]] Status SaveKde(const Kde& kde, const std::string& path);
 
 // Loads a model saved by SaveKde. `rebuild_index` controls whether the
 // compact-support grid index is rebuilt (identical results either way).
-Result<Kde> LoadKde(const std::string& path, bool rebuild_index = true);
+[[nodiscard]] Result<Kde> LoadKde(const std::string& path, bool rebuild_index = true);
 
 }  // namespace dbs::density
 

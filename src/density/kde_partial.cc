@@ -9,7 +9,7 @@
 namespace dbs::density {
 namespace {
 
-Status ValidateFitOptions(const KdeOptions& options, int dim) {
+[[nodiscard]] Status ValidateFitOptions(const KdeOptions& options, int dim) {
   if (options.num_kernels <= 0) {
     return Status::InvalidArgument("num_kernels must be positive");
   }
@@ -88,7 +88,7 @@ Result<PartialKde> Kde::FitPartial(data::DataScan& scan,
   return partial;
 }
 
-Result<PartialKde> MergePartialKde(PartialKde a, PartialKde b) {
+[[nodiscard]] Result<PartialKde> MergePartialKde(PartialKde a, PartialKde b) {
   if (!a.parts.empty() && !b.parts.empty() &&
       a.parts.front().centers.dim() != b.parts.front().centers.dim()) {
     return Status::InvalidArgument(
@@ -98,7 +98,7 @@ Result<PartialKde> MergePartialKde(PartialKde a, PartialKde b) {
   return a;
 }
 
-Result<Kde> FinalizeKde(PartialKde partial, const KdeOptions& options) {
+[[nodiscard]] Result<Kde> FinalizeKde(PartialKde partial, const KdeOptions& options) {
   if (partial.parts.empty()) {
     return Status::InvalidArgument("partial KDE state has no shards");
   }

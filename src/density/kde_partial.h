@@ -49,13 +49,13 @@ struct PartialKde {
 
 // Disjoint union of two partial states (no arithmetic; see header comment).
 // Fails if the inputs come from different sharded builds or share a shard.
-Result<PartialKde> MergePartialKde(PartialKde a, PartialKde b);
+[[nodiscard]] Result<PartialKde> MergePartialKde(PartialKde a, PartialKde b);
 
 // Reduces a COMPLETE partial state (all shards present) into a fitted Kde:
 // centers are concatenated in shard order, moments and bounds merged in
 // shard order, then bandwidths derived exactly as Kde::Fit derives them.
 // `options` must be the options every FitPartial call used.
-Result<Kde> FinalizeKde(PartialKde partial, const KdeOptions& options);
+[[nodiscard]] Result<Kde> FinalizeKde(PartialKde partial, const KdeOptions& options);
 
 }  // namespace dbs::density
 

@@ -56,7 +56,7 @@ class BallIntegrator {
   // EvaluateExcludingSelvesBatch (executor-sharded), then reduces each
   // point's probes in the scalar path's summation order. Fails only with
   // kUnavailable under executor backpressure.
-  Status IntegrateExcludingSelfBatch(
+  [[nodiscard]] Status IntegrateExcludingSelfBatch(
       const density::DensityEstimator& estimator, const double* rows,
       int64_t count, double radius, double* out,
       parallel::BatchExecutor* executor = nullptr) const;

@@ -9,7 +9,7 @@
 namespace dbs::outlier {
 namespace {
 
-Status ValidateParams(const data::PointSet& points,
+[[nodiscard]] Status ValidateParams(const data::PointSet& points,
                       const DbOutlierParams& params) {
   if (points.empty()) {
     return Status::InvalidArgument("cannot detect outliers in an empty set");
@@ -28,12 +28,12 @@ Status ValidateParams(const data::PointSet& points,
 
 }  // namespace
 
-Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
+[[nodiscard]] Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
                                           const DbOutlierParams& params) {
   return DetectOutliersExact(points, params, ExactDetectorOptions{});
 }
 
-Result<OutlierReport> DetectOutliersExact(
+[[nodiscard]] Result<OutlierReport> DetectOutliersExact(
     const data::PointSet& points, const DbOutlierParams& params,
     const ExactDetectorOptions& options) {
   DBS_RETURN_IF_ERROR(ValidateParams(points, params));
@@ -74,7 +74,7 @@ Result<OutlierReport> DetectOutliersExact(
   return report;
 }
 
-Result<OutlierReport> DetectOutliersNestedLoop(const data::PointSet& points,
+[[nodiscard]] Result<OutlierReport> DetectOutliersNestedLoop(const data::PointSet& points,
                                                const DbOutlierParams& params) {
   DBS_RETURN_IF_ERROR(ValidateParams(points, params));
   const int64_t n = points.size();

@@ -30,15 +30,15 @@ struct ExactDetectorOptions {
 };
 
 // Exact detection with a kd-tree (includes building the tree).
-Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
+[[nodiscard]] Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
                                           const DbOutlierParams& params);
 
-Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
+[[nodiscard]] Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
                                           const DbOutlierParams& params,
                                           const ExactDetectorOptions& options);
 
 // Exact detection by nested-loop scan with early termination.
-Result<OutlierReport> DetectOutliersNestedLoop(const data::PointSet& points,
+[[nodiscard]] Result<OutlierReport> DetectOutliersNestedLoop(const data::PointSet& points,
                                                const DbOutlierParams& params);
 
 }  // namespace dbs::outlier

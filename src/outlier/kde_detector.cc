@@ -8,7 +8,7 @@
 namespace dbs::outlier {
 namespace {
 
-Status ValidateArgs(const data::DataScan& scan,
+[[nodiscard]] Status ValidateArgs(const data::DataScan& scan,
                     const density::DensityEstimator& estimator,
                     const DbOutlierParams& params,
                     const KdeDetectorOptions& options) {
@@ -42,7 +42,7 @@ Status ValidateArgs(const data::DataScan& scan,
 
 }  // namespace
 
-Result<OutlierReport> DetectOutliersApproximate(
+[[nodiscard]] Result<OutlierReport> DetectOutliersApproximate(
     data::DataScan& scan, const density::DensityEstimator& estimator,
     const DbOutlierParams& params, const KdeDetectorOptions& options) {
   // Detection is the single-shard instance of the partial pipeline
@@ -69,7 +69,7 @@ Result<OutlierReport> DetectOutliersApproximate(
   return FinalizeOutlierReport(candidates, counts, params);
 }
 
-Result<PartialOutlierCandidates> ScoreOutlierCandidatesPartial(
+[[nodiscard]] Result<PartialOutlierCandidates> ScoreOutlierCandidatesPartial(
     data::DataScan& scan, const density::DensityEstimator& estimator,
     const DbOutlierParams& params, const KdeDetectorOptions& options,
     const ShardInfo& info) {
@@ -154,7 +154,7 @@ Result<PartialOutlierCandidates> ScoreOutlierCandidatesPartial(
   return partial;
 }
 
-Result<PartialOutlierCandidates> MergeOutlierCandidates(
+[[nodiscard]] Result<PartialOutlierCandidates> MergeOutlierCandidates(
     PartialOutlierCandidates a, PartialOutlierCandidates b,
     int64_t max_candidates) {
   if (!a.parts.empty() && !b.parts.empty() &&
@@ -175,7 +175,7 @@ Result<PartialOutlierCandidates> MergeOutlierCandidates(
   return a;
 }
 
-Result<OutlierCandidates> FinalizeOutlierCandidates(
+[[nodiscard]] Result<OutlierCandidates> FinalizeOutlierCandidates(
     PartialOutlierCandidates partial) {
   if (partial.parts.empty()) {
     return Status::InvalidArgument("partial candidate state has no shards");
@@ -203,7 +203,7 @@ Result<OutlierCandidates> FinalizeOutlierCandidates(
   return out;
 }
 
-Result<PartialNeighborCounts> CountCandidateNeighborsPartial(
+[[nodiscard]] Result<PartialNeighborCounts> CountCandidateNeighborsPartial(
     data::DataScan& scan, const OutlierCandidates& candidates,
     const DbOutlierParams& params, const ShardInfo& info) {
   if (candidates.points.empty()) {
@@ -248,7 +248,7 @@ Result<PartialNeighborCounts> CountCandidateNeighborsPartial(
   return partial;
 }
 
-Result<PartialNeighborCounts> MergeNeighborCounts(PartialNeighborCounts a,
+[[nodiscard]] Result<PartialNeighborCounts> MergeNeighborCounts(PartialNeighborCounts a,
                                                   PartialNeighborCounts b) {
   if (!a.parts.empty() && !b.parts.empty() &&
       a.parts.front().counts.size() != b.parts.front().counts.size()) {
@@ -259,7 +259,7 @@ Result<PartialNeighborCounts> MergeNeighborCounts(PartialNeighborCounts a,
   return a;
 }
 
-Result<OutlierReport> FinalizeOutlierReport(
+[[nodiscard]] Result<OutlierReport> FinalizeOutlierReport(
     const OutlierCandidates& candidates, const PartialNeighborCounts& counts,
     const DbOutlierParams& params) {
   if (counts.parts.empty()) {
@@ -302,14 +302,14 @@ Result<OutlierReport> FinalizeOutlierReport(
   return report;
 }
 
-Result<OutlierReport> DetectOutliersApproximate(
+[[nodiscard]] Result<OutlierReport> DetectOutliersApproximate(
     const data::PointSet& points, const density::DensityEstimator& estimator,
     const DbOutlierParams& params, const KdeDetectorOptions& options) {
   data::InMemoryScan scan(&points);
   return DetectOutliersApproximate(scan, estimator, params, options);
 }
 
-Result<int64_t> EstimateOutlierCount(
+[[nodiscard]] Result<int64_t> EstimateOutlierCount(
     data::DataScan& scan, const density::DensityEstimator& estimator,
     const DbOutlierParams& params, const KdeDetectorOptions& options) {
   DBS_RETURN_IF_ERROR(ValidateArgs(scan, estimator, params, options));
@@ -334,7 +334,7 @@ Result<int64_t> EstimateOutlierCount(
   return count;
 }
 
-Result<int64_t> EstimateOutlierCount(
+[[nodiscard]] Result<int64_t> EstimateOutlierCount(
     const data::PointSet& points, const density::DensityEstimator& estimator,
     const DbOutlierParams& params, const KdeDetectorOptions& options) {
   data::InMemoryScan scan(&points);

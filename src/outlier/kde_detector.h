@@ -53,11 +53,11 @@ struct KdeDetectorOptions {
 
 // Full detection: scoring pass + verification pass over `scan`.
 // `estimator` must be fitted on the same data.
-Result<OutlierReport> DetectOutliersApproximate(
+[[nodiscard]] Result<OutlierReport> DetectOutliersApproximate(
     data::DataScan& scan, const density::DensityEstimator& estimator,
     const DbOutlierParams& params, const KdeDetectorOptions& options);
 
-Result<OutlierReport> DetectOutliersApproximate(
+[[nodiscard]] Result<OutlierReport> DetectOutliersApproximate(
     const data::PointSet& points,
     const density::DensityEstimator& estimator, const DbOutlierParams& params,
     const KdeDetectorOptions& options);
@@ -65,12 +65,12 @@ Result<OutlierReport> DetectOutliersApproximate(
 // One scoring pass only: the number of points whose EXPECTED neighbor
 // count is within the (un-slacked) bound — a fast estimate of the outlier
 // count for parameter exploration.
-Result<int64_t> EstimateOutlierCount(data::DataScan& scan,
+[[nodiscard]] Result<int64_t> EstimateOutlierCount(data::DataScan& scan,
                                      const density::DensityEstimator& estimator,
                                      const DbOutlierParams& params,
                                      const KdeDetectorOptions& options);
 
-Result<int64_t> EstimateOutlierCount(const data::PointSet& points,
+[[nodiscard]] Result<int64_t> EstimateOutlierCount(const data::PointSet& points,
                                      const density::DensityEstimator& estimator,
                                      const DbOutlierParams& params,
                                      const KdeDetectorOptions& options);
@@ -124,7 +124,7 @@ struct PartialNeighborCounts {
 // expected-neighbor bound p is computed from info.total_rows. A shard whose
 // own candidate count exceeds options.max_candidates fails like the
 // unsharded detector does.
-Result<PartialOutlierCandidates> ScoreOutlierCandidatesPartial(
+[[nodiscard]] Result<PartialOutlierCandidates> ScoreOutlierCandidatesPartial(
     data::DataScan& scan, const density::DensityEstimator& estimator,
     const DbOutlierParams& params, const KdeDetectorOptions& options,
     const ShardInfo& info);
@@ -132,29 +132,29 @@ Result<PartialOutlierCandidates> ScoreOutlierCandidatesPartial(
 // Disjoint union; fails with FailedPrecondition when the combined candidate
 // count exceeds `max_candidates` (the global cap the sequential sweep
 // enforces).
-Result<PartialOutlierCandidates> MergeOutlierCandidates(
+[[nodiscard]] Result<PartialOutlierCandidates> MergeOutlierCandidates(
     PartialOutlierCandidates a, PartialOutlierCandidates b,
     int64_t max_candidates);
 
 // Flattens a COMPLETE candidate state (all shards present) in ascending
 // shard order — i.e. ascending global row order.
-Result<OutlierCandidates> FinalizeOutlierCandidates(
+[[nodiscard]] Result<OutlierCandidates> FinalizeOutlierCandidates(
     PartialOutlierCandidates partial);
 
 // Verification pass over one shard's slice: exact neighbor tallies of every
 // candidate among the shard's rows (kd-tree over the candidate set).
-Result<PartialNeighborCounts> CountCandidateNeighborsPartial(
+[[nodiscard]] Result<PartialNeighborCounts> CountCandidateNeighborsPartial(
     data::DataScan& scan, const OutlierCandidates& candidates,
     const DbOutlierParams& params, const ShardInfo& info);
 
-Result<PartialNeighborCounts> MergeNeighborCounts(PartialNeighborCounts a,
+[[nodiscard]] Result<PartialNeighborCounts> MergeNeighborCounts(PartialNeighborCounts a,
                                                   PartialNeighborCounts b);
 
 // Assembles the final report from COMPLETE candidate and count states:
 // per-candidate tallies are summed in ascending shard order (integer sums —
 // exact), each candidate's self-count removed, and survivors reported.
 // Sets candidates_checked and passes = 2.
-Result<OutlierReport> FinalizeOutlierReport(
+[[nodiscard]] Result<OutlierReport> FinalizeOutlierReport(
     const OutlierCandidates& candidates, const PartialNeighborCounts& counts,
     const DbOutlierParams& params);
 

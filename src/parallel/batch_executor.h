@@ -58,18 +58,18 @@ class BatchExecutor {
 
   // Enqueues one task. Returns kUnavailable when the queue is full and
   // kFailedPrecondition after Shutdown; never blocks.
-  Status TrySubmit(std::function<void()> task);
+  [[nodiscard]] Status TrySubmit(std::function<void()> task);
 
   // Enqueues all tasks or none (single admission decision under one lock),
   // with the same error contract as TrySubmit.
-  Status TrySubmitAll(std::vector<std::function<void()>> tasks);
+  [[nodiscard]] Status TrySubmitAll(std::vector<std::function<void()>> tasks);
 
   // Runs fn(begin, end) over disjoint shards covering [0, total) and waits
   // for all of them. Returns kUnavailable without running anything when the
   // queue cannot admit every shard. `fn` must be safe to call concurrently
   // on disjoint ranges. Must not be called from a worker thread (the caller
   // blocks until the shards finish).
-  Status ParallelFor(int64_t total,
+  [[nodiscard]] Status ParallelFor(int64_t total,
                      const std::function<void(int64_t, int64_t)>& fn);
 
   // Drains queued and in-flight tasks, then joins the workers. Idempotent.
@@ -87,6 +87,8 @@ class BatchExecutor {
   const int64_t queue_capacity_;
   const int64_t min_shard_;
 
+  // Guards queue_ and shutdown_. Leaf lock: released before any queued
+  // task runs, so tasks may take their own locks freely.
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::deque<std::function<void()>> queue_;

@@ -22,7 +22,7 @@ void Reservoir::Offer(data::PointView p) {
   ++seen_;
 }
 
-Result<data::PointSet> ReservoirSample(data::DataScan& scan, int64_t k,
+[[nodiscard]] Result<data::PointSet> ReservoirSample(data::DataScan& scan, int64_t k,
                                        uint64_t seed) {
   if (k <= 0) {
     return Status::InvalidArgument("reservoir capacity must be positive");
@@ -38,7 +38,7 @@ Result<data::PointSet> ReservoirSample(data::DataScan& scan, int64_t k,
   return reservoir.sample();
 }
 
-Result<data::PointSet> ReservoirSample(const data::PointSet& points,
+[[nodiscard]] Result<data::PointSet> ReservoirSample(const data::PointSet& points,
                                        int64_t k, uint64_t seed) {
   data::InMemoryScan scan(&points);
   return ReservoirSample(scan, k, seed);

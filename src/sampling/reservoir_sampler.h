@@ -36,10 +36,10 @@ class Reservoir {
 };
 
 // One-pass exact-size uniform sample of `scan`.
-Result<data::PointSet> ReservoirSample(data::DataScan& scan, int64_t k,
+[[nodiscard]] Result<data::PointSet> ReservoirSample(data::DataScan& scan, int64_t k,
                                        uint64_t seed);
 
-Result<data::PointSet> ReservoirSample(const data::PointSet& points,
+[[nodiscard]] Result<data::PointSet> ReservoirSample(const data::PointSet& points,
                                        int64_t k, uint64_t seed);
 
 }  // namespace dbs::sampling

@@ -6,7 +6,7 @@
 
 namespace dbs::sampling {
 
-Result<data::PointSet> BernoulliSample(data::DataScan& scan,
+[[nodiscard]] Result<data::PointSet> BernoulliSample(data::DataScan& scan,
                                        const BernoulliSampleOptions& options) {
   if (options.target_size <= 0) {
     return Status::InvalidArgument("target_size must be positive");
@@ -32,7 +32,7 @@ Result<data::PointSet> BernoulliSample(data::DataScan& scan,
   return out;
 }
 
-Result<data::PointSet> BernoulliSample(const data::PointSet& points,
+[[nodiscard]] Result<data::PointSet> BernoulliSample(const data::PointSet& points,
                                        const BernoulliSampleOptions& options) {
   data::InMemoryScan scan(&points);
   return BernoulliSample(scan, options);

@@ -24,10 +24,10 @@ struct BernoulliSampleOptions {
 
 // One pass; each row kept independently with probability target_size / N
 // (clamped to 1). Returns the sampled points.
-Result<data::PointSet> BernoulliSample(data::DataScan& scan,
+[[nodiscard]] Result<data::PointSet> BernoulliSample(data::DataScan& scan,
                                        const BernoulliSampleOptions& options);
 
-Result<data::PointSet> BernoulliSample(const data::PointSet& points,
+[[nodiscard]] Result<data::PointSet> BernoulliSample(const data::PointSet& points,
                                        const BernoulliSampleOptions& options);
 
 }  // namespace dbs::sampling

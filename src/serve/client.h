@@ -56,9 +56,9 @@ struct ClientOptions {
 class Client {
  public:
   // Connects to the daemon (loopback by default).
-  static Result<Client> Connect(uint16_t port,
+  [[nodiscard]] static Result<Client> Connect(uint16_t port,
                                 const std::string& host = "127.0.0.1");
-  static Result<Client> Connect(uint16_t port, const ClientOptions& options);
+  [[nodiscard]] static Result<Client> Connect(uint16_t port, const ClientOptions& options);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -73,56 +73,56 @@ class Client {
   const Status& shm_status() const { return shm_status_; }
 
   // Registers the .dbsk model at `path` (a server-side path) under `name`.
-  Status RegisterModel(const std::string& name, const std::string& path);
+  [[nodiscard]] Status RegisterModel(const std::string& name, const std::string& path);
 
-  Status EvictModel(const std::string& name);
+  [[nodiscard]] Status EvictModel(const std::string& name);
 
-  Result<DensityBatchResponse> Density(const DensityBatchRequest& request);
+  [[nodiscard]] Result<DensityBatchResponse> Density(const DensityBatchRequest& request);
 
   // Density over several batches with up to `window` requests in flight on
   // this one session — amortizes the per-exchange transport latency without
   // extra connections. Responses are returned in request order and are
   // identical to issuing the batches one Density call at a time.
-  Result<std::vector<DensityBatchResponse>> DensityPipelined(
+  [[nodiscard]] Result<std::vector<DensityBatchResponse>> DensityPipelined(
       const std::vector<DensityBatchRequest>& requests, int window);
 
-  Result<SampleResponse> Sample(const SampleRequest& request);
+  [[nodiscard]] Result<SampleResponse> Sample(const SampleRequest& request);
 
-  Result<OutlierScoreBatchResponse> OutlierScores(
+  [[nodiscard]] Result<OutlierScoreBatchResponse> OutlierScores(
       const OutlierScoreBatchRequest& request);
 
   // Fits one shard of a distributed KDE build on the server (the dataset
   // path is server-side) and returns the mergeable partial state. See
   // tools/dbs_merge for the collector that reduces the shards.
-  Result<density::PartialKde> PartialFit(const PartialFitRequest& request);
+  [[nodiscard]] Result<density::PartialKde> PartialFit(const PartialFitRequest& request);
 
-  Result<StatsResponse> Stats();
+  [[nodiscard]] Result<StatsResponse> Stats();
 
   // Asks the daemon to shut down; the connection closes afterwards.
-  Status RequestShutdown();
+  [[nodiscard]] Status RequestShutdown();
 
   // ---- Raw frame stream (pipelining building blocks) ----------------------
 
   // Sends one request frame without waiting for its response. Each Submit
   // owes exactly one ReadResponseFrame; responses arrive in Submit order.
-  Status Submit(MessageType type, const std::vector<uint8_t>& payload);
+  [[nodiscard]] Status Submit(MessageType type, const std::vector<uint8_t>& payload);
 
   // Reads the next response frame verbatim — kErrorResponse frames are
   // returned, not translated, so pipelined callers see per-request errors
   // in sequence.
-  Result<Frame> ReadResponseFrame();
+  [[nodiscard]] Result<Frame> ReadResponseFrame();
 
  private:
   explicit Client(int fd) : fd_(fd) {}
 
   // Attempts the shm upgrade on the freshly connected control socket.
-  Status AttachShm(size_t ring_bytes);
+  [[nodiscard]] Status AttachShm(size_t ring_bytes);
   // True when the daemon closed the control connection (shm liveness probe).
   bool ServerClosed() const;
 
   // Writes one request frame and reads the single response frame,
   // translating kErrorResponse frames into their Status.
-  Result<Frame> RoundTrip(MessageType type,
+  [[nodiscard]] Result<Frame> RoundTrip(MessageType type,
                           const std::vector<uint8_t>& payload,
                           MessageType expected_response);
 

@@ -50,20 +50,20 @@ class ModelRegistry {
   // Registers `model` under `name`, replacing any existing model of that
   // name (hot-swap). The registry shares ownership; callers may keep their
   // reference. `kind` is a short human-readable tag.
-  Status Put(const std::string& name,
+  [[nodiscard]] Status Put(const std::string& name,
              std::shared_ptr<const density::DensityEstimator> model,
              const std::string& kind = "estimator");
 
   // Loads a .dbsk KDE model from `path` and registers it under `name`.
-  Status LoadKdeFile(const std::string& name, const std::string& path);
+  [[nodiscard]] Status LoadKdeFile(const std::string& name, const std::string& path);
 
   // Looks up a model by name. The returned pointer keeps the model alive
   // even if it is concurrently evicted or hot-swapped.
-  Result<std::shared_ptr<const density::DensityEstimator>> Get(
+  [[nodiscard]] Result<std::shared_ptr<const density::DensityEstimator>> Get(
       const std::string& name) const;
 
   // Unlinks the name. In-flight holders of the model keep it alive.
-  Status Evict(const std::string& name);
+  [[nodiscard]] Status Evict(const std::string& name);
 
   // Snapshot of the registered models, sorted by name.
   std::vector<ModelEntry> List() const;
@@ -76,6 +76,8 @@ class ModelRegistry {
     ModelEntry entry;
   };
 
+  // Guards slots_. Leaf lock: lookups copy the shared_ptr out and release
+  // before any estimator call, so evaluation never runs under the lock.
   mutable std::mutex mu_;
   std::unordered_map<std::string, Slot> slots_;
 };

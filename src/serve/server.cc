@@ -16,7 +16,7 @@
 namespace dbs::serve {
 namespace {
 
-Status SocketError(const char* what) {
+[[nodiscard]] Status SocketError(const char* what) {
   return Status::IoError(std::string(what) + ": " + std::strerror(errno));
 }
 

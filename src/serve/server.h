@@ -55,7 +55,7 @@ class Server {
  public:
   // Binds and starts accepting. `service` is not owned and must outlive
   // the server.
-  static Result<std::unique_ptr<Server>> Start(ModelService* service,
+  [[nodiscard]] static Result<std::unique_ptr<Server>> Start(ModelService* service,
                                                const ServerOptions& options);
 
   ~Server();
@@ -82,7 +82,7 @@ class Server {
   // connection should close (peer gone, framing violation or shutdown).
   bool ServeOne(int fd, const Frame& frame);
   // Handles the shm upgrade handshake for connection `fd`.
-  Status AttachShm(int fd, const Frame& frame);
+  [[nodiscard]] Status AttachShm(int fd, const Frame& frame);
   void RequestShutdown();
 
   ModelService* service_;
@@ -95,6 +95,9 @@ class Server {
 
   std::thread acceptor_;
 
+  // Guards the shutdown flags and fd lists below. Ordered after nothing:
+  // handlers never call back into Server while holding their own locks,
+  // and mu_ is released before closing fds or joining threads.
   std::mutex mu_;
   std::condition_variable shutdown_cv_;
   bool stopping_ = false;

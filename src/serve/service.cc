@@ -21,7 +21,7 @@ double ElapsedUs(Clock::time_point start) {
       .count();
 }
 
-Status ValidatePoints(const data::PointSet& points, int model_dim,
+[[nodiscard]] Status ValidatePoints(const data::PointSet& points, int model_dim,
                       const std::string& model) {
   if (points.dim() != model_dim) {
     return Status::InvalidArgument(

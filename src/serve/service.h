@@ -36,26 +36,26 @@ class ModelService {
   ModelService(const ModelService&) = delete;
   ModelService& operator=(const ModelService&) = delete;
 
-  Status Register(const RegisterRequest& request);
-  Status Evict(const EvictRequest& request);
+  [[nodiscard]] Status Register(const RegisterRequest& request);
+  [[nodiscard]] Status Evict(const EvictRequest& request);
 
   // Density evaluation sharded across the executor; kUnavailable under
   // backpressure.
-  Result<DensityBatchResponse> Density(const DensityBatchRequest& request);
+  [[nodiscard]] Result<DensityBatchResponse> Density(const DensityBatchRequest& request);
 
   // Biased sampling is RNG-sequential, so it runs as a single executor task
   // (still subject to admission control).
-  Result<SampleResponse> Sample(const SampleRequest& request);
+  [[nodiscard]] Result<SampleResponse> Sample(const SampleRequest& request);
 
   // Outlier scoring sharded across the executor.
-  Result<OutlierScoreBatchResponse> OutlierScores(
+  [[nodiscard]] Result<OutlierScoreBatchResponse> OutlierScores(
       const OutlierScoreBatchRequest& request);
 
   // One shard of a distributed KDE build (DESIGN.md §12): streams the
   // shard's slice of the server-side .dbsf dataset through Kde::FitPartial
   // and returns the mergeable state. Sequential like Sample (the reservoir
   // consumes an RNG stream), so it runs as one admission-controlled task.
-  Result<density::PartialKde> PartialFit(const PartialFitRequest& request);
+  [[nodiscard]] Result<density::PartialKde> PartialFit(const PartialFitRequest& request);
 
   StatsResponse Stats() const;
 
@@ -83,6 +83,8 @@ class ModelService {
   ModelRegistry* registry_;
   BatchExecutor* executor_;
 
+  // Guards stats_ only; taken after all request work is done. Leaf lock,
+  // never held across registry or executor calls.
   mutable std::mutex stats_mu_;
   std::map<RequestType, TypeStats> stats_;
 };

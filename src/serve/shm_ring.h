@@ -110,7 +110,7 @@ class ShmRing {
   // Consumer side. Pops one record into *out (replacing its contents).
   // Returns true on a record, false when the ring is empty, and an error
   // Status when the published bytes cannot be a record the producer wrote.
-  Result<bool> TryPop(std::vector<uint8_t>* out) {
+  [[nodiscard]] Result<bool> TryPop(std::vector<uint8_t>* out) {
     const uint64_t tail = control_->tail.load(std::memory_order_relaxed);
     const uint64_t head = control_->head.load(std::memory_order_acquire);
     const uint64_t avail = head - tail;

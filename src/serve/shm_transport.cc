@@ -15,7 +15,7 @@
 namespace dbs::serve {
 namespace {
 
-Status ShmError(const char* what, const std::string& name) {
+[[nodiscard]] Status ShmError(const char* what, const std::string& name) {
   return Status::IoError(std::string(what) + " '" + name +
                          "': " + std::strerror(errno));
 }

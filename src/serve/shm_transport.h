@@ -66,13 +66,13 @@ class ShmSession {
  public:
   // Client side: creates and formats a fresh region under `name` (a POSIX
   // shm name, "/..."). Fails if the name exists.
-  static Result<std::unique_ptr<ShmSession>> Create(const std::string& name,
+  [[nodiscard]] static Result<std::unique_ptr<ShmSession>> Create(const std::string& name,
                                                     size_t ring_bytes);
 
   // Server side: maps an existing region and validates its header — size,
   // magic, version, power-of-two capacity. A missing region surfaces as
   // kNotFound, which is what the client's TCP fallback keys on.
-  static Result<std::unique_ptr<ShmSession>> Open(const std::string& name);
+  [[nodiscard]] static Result<std::unique_ptr<ShmSession>> Open(const std::string& name);
 
   ~ShmSession();
   ShmSession(const ShmSession&) = delete;
@@ -185,6 +185,9 @@ class ShmServerDrain {
   std::function<void()> on_shutdown_;
   Options options_;
 
+  // Guards entries_ and stop_. Taken only by Attach/Detach and the drain
+  // sweep's session-list snapshot; never held while touching a ring, so
+  // ring operations stay lock-free. Leaf lock.
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::unique_ptr<Entry>> entries_;

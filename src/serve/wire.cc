@@ -20,7 +20,7 @@ bool IsKnownMessageType(uint32_t type) {
           type <= static_cast<uint32_t>(MessageType::kPartialFitResponse));
 }
 
-Status Corrupt(const char* what) {
+[[nodiscard]] Status Corrupt(const char* what) {
   return Status::InvalidArgument(std::string("corrupt wire payload: ") +
                                  what);
 }
@@ -176,7 +176,7 @@ std::vector<uint8_t> EncodeRegisterRequest(const RegisterRequest& request) {
   return w.Take();
 }
 
-Result<RegisterRequest> DecodeRegisterRequest(
+[[nodiscard]] Result<RegisterRequest> DecodeRegisterRequest(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   RegisterRequest request;
@@ -193,7 +193,7 @@ std::vector<uint8_t> EncodeEvictRequest(const EvictRequest& request) {
   return w.Take();
 }
 
-Result<EvictRequest> DecodeEvictRequest(
+[[nodiscard]] Result<EvictRequest> DecodeEvictRequest(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   EvictRequest request;
@@ -210,7 +210,7 @@ std::vector<uint8_t> EncodeDensityRequest(const DensityBatchRequest& request) {
   return w.Take();
 }
 
-Result<DensityBatchRequest> DecodeDensityRequest(
+[[nodiscard]] Result<DensityBatchRequest> DecodeDensityRequest(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   DensityBatchRequest request;
@@ -228,7 +228,7 @@ std::vector<uint8_t> EncodeDensityResponse(
   return w.Take();
 }
 
-Result<DensityBatchResponse> DecodeDensityResponse(
+[[nodiscard]] Result<DensityBatchResponse> DecodeDensityResponse(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   DensityBatchResponse response;
@@ -248,7 +248,7 @@ std::vector<uint8_t> EncodeSampleRequest(const SampleRequest& request) {
   return w.Take();
 }
 
-Result<SampleRequest> DecodeSampleRequest(
+[[nodiscard]] Result<SampleRequest> DecodeSampleRequest(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   SampleRequest request;
@@ -274,7 +274,7 @@ std::vector<uint8_t> EncodeSampleResponse(const SampleResponse& response) {
   return w.Take();
 }
 
-Result<SampleResponse> DecodeSampleResponse(
+[[nodiscard]] Result<SampleResponse> DecodeSampleResponse(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   SampleResponse response;
@@ -305,7 +305,7 @@ std::vector<uint8_t> EncodeOutlierRequest(
   return w.Take();
 }
 
-Result<OutlierScoreBatchRequest> DecodeOutlierRequest(
+[[nodiscard]] Result<OutlierScoreBatchRequest> DecodeOutlierRequest(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   OutlierScoreBatchRequest request;
@@ -352,7 +352,7 @@ std::vector<uint8_t> EncodeOutlierResponse(
   return buf;
 }
 
-Result<OutlierScoreBatchResponse> DecodeOutlierResponse(
+[[nodiscard]] Result<OutlierScoreBatchResponse> DecodeOutlierResponse(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   OutlierScoreBatchResponse response;
@@ -394,7 +394,7 @@ std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response) {
   return w.Take();
 }
 
-Result<StatsResponse> DecodeStatsResponse(
+[[nodiscard]] Result<StatsResponse> DecodeStatsResponse(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   StatsResponse response;
@@ -442,7 +442,7 @@ std::vector<uint8_t> EncodePartialFitRequest(
   return w.Take();
 }
 
-Result<PartialFitRequest> DecodePartialFitRequest(
+[[nodiscard]] Result<PartialFitRequest> DecodePartialFitRequest(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   PartialFitRequest request;
@@ -485,7 +485,7 @@ std::vector<uint8_t> EncodeShmAttachRequest(const ShmAttachRequest& request) {
   return w.Take();
 }
 
-Result<ShmAttachRequest> DecodeShmAttachRequest(
+[[nodiscard]] Result<ShmAttachRequest> DecodeShmAttachRequest(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   ShmAttachRequest request;
@@ -538,7 +538,7 @@ std::vector<uint8_t> EncodePartialKde(const density::PartialKde& partial) {
   return w.Take();
 }
 
-Result<density::PartialKde> DecodePartialKde(
+[[nodiscard]] Result<density::PartialKde> DecodePartialKde(
     const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   density::PartialKde partial;
@@ -612,7 +612,7 @@ std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
   return w.Take();
 }
 
-Status DecodeErrorResponse(const std::vector<uint8_t>& payload) {
+[[nodiscard]] Status DecodeErrorResponse(const std::vector<uint8_t>& payload) {
   WireReader r(payload);
   uint32_t code = 0;
   std::string message;
@@ -644,7 +644,7 @@ std::vector<uint8_t> EncodeFrame(MessageType type,
   return frame;
 }
 
-Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
+[[nodiscard]] Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
                           size_t* consumed) {
   if (size < kFrameHeaderBytes) {
     return Status::IoError("short frame header");
@@ -686,7 +686,7 @@ Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
 
 namespace {
 
-Status WriteAll(int fd, const uint8_t* data, size_t size) {
+[[nodiscard]] Status WriteAll(int fd, const uint8_t* data, size_t size) {
   size_t written = 0;
   while (written < size) {
     // MSG_NOSIGNAL: a peer that hung up must surface as EPIPE, not kill
@@ -704,7 +704,7 @@ Status WriteAll(int fd, const uint8_t* data, size_t size) {
 
 // Reads exactly `size` bytes; "connection closed" on EOF before the first
 // byte, "truncated frame" on EOF mid-read.
-Status ReadAll(int fd, uint8_t* data, size_t size) {
+[[nodiscard]] Status ReadAll(int fd, uint8_t* data, size_t size) {
   size_t read_bytes = 0;
   while (read_bytes < size) {
     ssize_t n = ::read(fd, data + read_bytes, size - read_bytes);
@@ -724,13 +724,13 @@ Status ReadAll(int fd, uint8_t* data, size_t size) {
 
 }  // namespace
 
-Status WriteFrame(int fd, MessageType type,
+[[nodiscard]] Status WriteFrame(int fd, MessageType type,
                   const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> frame = EncodeFrame(type, payload);
   return WriteAll(fd, frame.data(), frame.size());
 }
 
-Result<Frame> ReadFrame(int fd) {
+[[nodiscard]] Result<Frame> ReadFrame(int fd) {
   uint8_t header[kFrameHeaderBytes];
   DBS_RETURN_IF_ERROR(ReadAll(fd, header, kFrameHeaderBytes));
   WireReader r(header, kFrameHeaderBytes);

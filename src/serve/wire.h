@@ -129,46 +129,46 @@ class WireReader {
 // ---- Message codecs -------------------------------------------------------
 
 std::vector<uint8_t> EncodeRegisterRequest(const RegisterRequest& request);
-Result<RegisterRequest> DecodeRegisterRequest(
+[[nodiscard]] Result<RegisterRequest> DecodeRegisterRequest(
     const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeEvictRequest(const EvictRequest& request);
-Result<EvictRequest> DecodeEvictRequest(const std::vector<uint8_t>& payload);
+[[nodiscard]] Result<EvictRequest> DecodeEvictRequest(const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeDensityRequest(const DensityBatchRequest& request);
-Result<DensityBatchRequest> DecodeDensityRequest(
+[[nodiscard]] Result<DensityBatchRequest> DecodeDensityRequest(
     const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeDensityResponse(
     const DensityBatchResponse& response);
-Result<DensityBatchResponse> DecodeDensityResponse(
+[[nodiscard]] Result<DensityBatchResponse> DecodeDensityResponse(
     const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeSampleRequest(const SampleRequest& request);
-Result<SampleRequest> DecodeSampleRequest(
+[[nodiscard]] Result<SampleRequest> DecodeSampleRequest(
     const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeSampleResponse(const SampleResponse& response);
-Result<SampleResponse> DecodeSampleResponse(
+[[nodiscard]] Result<SampleResponse> DecodeSampleResponse(
     const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeOutlierRequest(
     const OutlierScoreBatchRequest& request);
-Result<OutlierScoreBatchRequest> DecodeOutlierRequest(
+[[nodiscard]] Result<OutlierScoreBatchRequest> DecodeOutlierRequest(
     const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeOutlierResponse(
     const OutlierScoreBatchResponse& response);
-Result<OutlierScoreBatchResponse> DecodeOutlierResponse(
+[[nodiscard]] Result<OutlierScoreBatchResponse> DecodeOutlierResponse(
     const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodeStatsResponse(const StatsResponse& response);
-Result<StatsResponse> DecodeStatsResponse(
+[[nodiscard]] Result<StatsResponse> DecodeStatsResponse(
     const std::vector<uint8_t>& payload);
 
 std::vector<uint8_t> EncodePartialFitRequest(
     const PartialFitRequest& request);
-Result<PartialFitRequest> DecodePartialFitRequest(
+[[nodiscard]] Result<PartialFitRequest> DecodePartialFitRequest(
     const std::vector<uint8_t>& payload);
 
 // Shared-memory transport handshake (DESIGN.md §13): the client created a
@@ -184,7 +184,7 @@ struct ShmAttachRequest {
 };
 
 std::vector<uint8_t> EncodeShmAttachRequest(const ShmAttachRequest& request);
-Result<ShmAttachRequest> DecodeShmAttachRequest(
+[[nodiscard]] Result<ShmAttachRequest> DecodeShmAttachRequest(
     const std::vector<uint8_t>& payload);
 
 // Serialized mergeable KDE state (the kPartialFitResponse payload): per
@@ -194,13 +194,13 @@ Result<ShmAttachRequest> DecodeShmAttachRequest(
 // (OnlineMoments::FromParts). Decoding enforces the canonical form merges
 // produce: strictly ascending shard indices, one consistent dimensionality.
 std::vector<uint8_t> EncodePartialKde(const density::PartialKde& partial);
-Result<density::PartialKde> DecodePartialKde(
+[[nodiscard]] Result<density::PartialKde> DecodePartialKde(
     const std::vector<uint8_t>& payload);
 
 // Error responses carry (code, message); decoding returns the Status they
 // describe.
 std::vector<uint8_t> EncodeErrorResponse(const Status& status);
-Status DecodeErrorResponse(const std::vector<uint8_t>& payload);
+[[nodiscard]] Status DecodeErrorResponse(const std::vector<uint8_t>& payload);
 
 // ---- Framing --------------------------------------------------------------
 
@@ -212,16 +212,16 @@ std::vector<uint8_t> EncodeFrame(MessageType type,
 // bytes consumed. Fails on bad magic/version/type, oversized payloads and
 // short buffers (kIoError for "need more bytes", kInvalidArgument for
 // structurally bad headers).
-Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
+[[nodiscard]] Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
                           size_t* consumed);
 
 // Blocking frame I/O over a file descriptor (socket). WriteFrame writes the
 // whole frame; ReadFrame reads exactly one frame. ReadFrame returns
 // kIoError with message "connection closed" on clean EOF before any header
 // byte.
-Status WriteFrame(int fd, MessageType type,
+[[nodiscard]] Status WriteFrame(int fd, MessageType type,
                   const std::vector<uint8_t>& payload);
-Result<Frame> ReadFrame(int fd);
+[[nodiscard]] Result<Frame> ReadFrame(int fd);
 
 }  // namespace dbs::serve
 

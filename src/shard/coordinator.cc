@@ -15,7 +15,7 @@ namespace {
 // so any reduction shape yields the same state. The tree shape only bounds
 // the reduction depth at log2(shards) for the multi-process collector.
 template <typename Partial, typename MergeFn>
-Result<Partial> TreeReduce(std::vector<Partial> parts, const MergeFn& merge) {
+[[nodiscard]] Result<Partial> TreeReduce(std::vector<Partial> parts, const MergeFn& merge) {
   while (parts.size() > 1) {
     std::vector<Partial> next;
     next.reserve((parts.size() + 1) / 2);

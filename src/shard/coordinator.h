@@ -71,20 +71,20 @@ class ShardCoordinator {
                    const ShardCoordinatorOptions& options);
 
   // Sharded Kde::Fit.
-  Result<density::Kde> BuildKde(const density::KdeOptions& options) const;
+  [[nodiscard]] Result<density::Kde> BuildKde(const density::KdeOptions& options) const;
 
   // Sharded BiasedSampler::Run (exact normalizer pass, then sampling pass).
-  Result<core::BiasedSample> SampleTwoPass(
+  [[nodiscard]] Result<core::BiasedSample> SampleTwoPass(
       const density::DensityEstimator& estimator,
       const core::BiasedSamplerOptions& options) const;
 
   // Sharded BiasedSampler::RunOnePass (k_a estimated from kernel centers).
-  Result<core::BiasedSample> SampleOnePass(
+  [[nodiscard]] Result<core::BiasedSample> SampleOnePass(
       const density::Kde& kde,
       const core::BiasedSamplerOptions& options) const;
 
   // Sharded DetectOutliersApproximate.
-  Result<outlier::OutlierReport> DetectOutliers(
+  [[nodiscard]] Result<outlier::OutlierReport> DetectOutliers(
       const density::DensityEstimator& estimator,
       const outlier::DbOutlierParams& params,
       const outlier::KdeDetectorOptions& options) const;
@@ -97,10 +97,10 @@ class ShardCoordinator {
 
   // Opens the dataset once to learn its size; returns the clamped shard
   // count for it.
-  Result<int64_t> ResolveShards(int64_t* total_rows) const;
+  [[nodiscard]] Result<int64_t> ResolveShards(int64_t* total_rows) const;
 
   template <typename Partial>
-  Result<std::vector<Partial>> RunShards(int64_t num_shards,
+  [[nodiscard]] Result<std::vector<Partial>> RunShards(int64_t num_shards,
                                          int64_t total_rows,
                                          const ShardFn<Partial>& fn) const;
 

@@ -26,7 +26,7 @@ void UniformInEllipse(Rng& rng, double cx, double cy, double ax, double ay,
 
 }  // namespace
 
-Result<ClusteredDataset> MakeCureDataset1(const CureDatasetOptions& options) {
+[[nodiscard]] Result<ClusteredDataset> MakeCureDataset1(const CureDatasetOptions& options) {
   if (options.num_points < 100) {
     return Status::InvalidArgument("dataset1 needs at least 100 points");
   }

@@ -31,7 +31,7 @@ struct CureDatasetOptions {
 
 // Generates the five-cluster layout in [0,1]^2. Region order: big circle,
 // upper ellipse, lower ellipse, small circle A, small circle B.
-Result<ClusteredDataset> MakeCureDataset1(const CureDatasetOptions& options);
+[[nodiscard]] Result<ClusteredDataset> MakeCureDataset1(const CureDatasetOptions& options);
 
 }  // namespace dbs::synth
 

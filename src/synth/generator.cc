@@ -51,7 +51,7 @@ std::vector<int64_t> ClusterPointCounts(int num_clusters, int64_t total,
   return counts;
 }
 
-Result<ClusteredDataset> MakeClusteredDataset(
+[[nodiscard]] Result<ClusteredDataset> MakeClusteredDataset(
     const ClusteredDatasetOptions& options) {
   if (options.dim <= 0) {
     return Status::InvalidArgument("dim must be positive");

@@ -51,7 +51,7 @@ struct ClusteredDataset {
 // Generates non-overlapping hyper-rectangle clusters plus uniform noise in
 // [0,1]^dim. Points are emitted cluster by cluster, noise last; labels in
 // `truth` follow the same order.
-Result<ClusteredDataset> MakeClusteredDataset(
+[[nodiscard]] Result<ClusteredDataset> MakeClusteredDataset(
     const ClusteredDatasetOptions& options);
 
 // Point counts per cluster implied by the options: geometric interpolation

@@ -36,7 +36,7 @@ void CorridorPoint(Rng& rng, const std::vector<Metro>& metros, double spread,
   } while (out[0] < 0 || out[0] > 1 || out[1] < 0 || out[1] > 1);
 }
 
-Result<ClusteredDataset> MakeGeo(const std::vector<Metro>& metros,
+[[nodiscard]] Result<ClusteredDataset> MakeGeo(const std::vector<Metro>& metros,
                                  double corridor_share,
                                  double background_share,
                                  double corridor_spread,
@@ -84,7 +84,7 @@ Result<ClusteredDataset> MakeGeo(const std::vector<Metro>& metros,
 
 }  // namespace
 
-Result<ClusteredDataset> MakeNorthEastLike(const GeoDatasetOptions& options) {
+[[nodiscard]] Result<ClusteredDataset> MakeNorthEastLike(const GeoDatasetOptions& options) {
   // Philadelphia -> New York -> Boston, southwest to northeast.
   const std::vector<Metro> metros{
       {0.25, 0.20, 0.016, 0.13},  // Philadelphia
@@ -96,7 +96,7 @@ Result<ClusteredDataset> MakeNorthEastLike(const GeoDatasetOptions& options) {
                  /*corridor_spread=*/0.07, options);
 }
 
-Result<ClusteredDataset> MakeCaliforniaLike(const GeoDatasetOptions& options) {
+[[nodiscard]] Result<ClusteredDataset> MakeCaliforniaLike(const GeoDatasetOptions& options) {
   GeoDatasetOptions opts = options;
   if (opts.num_points == 130000) opts.num_points = 62553;
   // Bay Area and Los Angeles along a long coastal line.

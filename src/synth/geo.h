@@ -30,12 +30,12 @@ struct GeoDatasetOptions {
 // NorthEast-like: three metro blobs (NY, Philadelphia, Boston analogues)
 // along a southwest-northeast diagonal, corridor points between them, and
 // scattered rural background. Regions = the three metro discs.
-Result<ClusteredDataset> MakeNorthEastLike(const GeoDatasetOptions& options);
+[[nodiscard]] Result<ClusteredDataset> MakeNorthEastLike(const GeoDatasetOptions& options);
 
 // California-like: two metro blobs (LA, Bay Area analogues) along a long
 // coastal arc with corridor and background points. Regions = the two
 // metro discs.
-Result<ClusteredDataset> MakeCaliforniaLike(const GeoDatasetOptions& options);
+[[nodiscard]] Result<ClusteredDataset> MakeCaliforniaLike(const GeoDatasetOptions& options);
 
 }  // namespace dbs::synth
 

@@ -6,7 +6,7 @@
 
 namespace dbs::synth {
 
-Result<std::vector<int64_t>> PlantOutliers(
+[[nodiscard]] Result<std::vector<int64_t>> PlantOutliers(
     data::PointSet& points, const OutlierPlantingOptions& options) {
   if (points.empty()) {
     return Status::InvalidArgument("plant outliers into a non-empty set");

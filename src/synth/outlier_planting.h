@@ -32,7 +32,7 @@ struct OutlierPlantingOptions {
 // Appends planted outliers to `points` (modified in place) and returns
 // their indices. Fails if the domain cannot host `count` points at the
 // requested separation within the attempt budget.
-Result<std::vector<int64_t>> PlantOutliers(
+[[nodiscard]] Result<std::vector<int64_t>> PlantOutliers(
     data::PointSet& points, const OutlierPlantingOptions& options);
 
 }  // namespace dbs::synth

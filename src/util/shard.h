@@ -38,7 +38,7 @@ struct ShardInfo {
   int64_t total_rows = 0;
 };
 
-inline Status ValidateShardInfo(const ShardInfo& info) {
+[[nodiscard]] inline Status ValidateShardInfo(const ShardInfo& info) {
   if (info.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be at least 1");
   }
@@ -115,7 +115,7 @@ inline uint64_t ShardSeed(uint64_t seed, int64_t shard) {
 // two inputs' parts interleaved into ascending shard order, which is why
 // merge order cannot affect the finalized model.
 template <typename Part>
-Status MergeShardParts(std::vector<Part>* into, std::vector<Part>&& from) {
+[[nodiscard]] Status MergeShardParts(std::vector<Part>* into, std::vector<Part>&& from) {
   if (into->empty()) {
     *into = std::move(from);
     return Status::Ok();

@@ -32,33 +32,36 @@ enum class StatusCode {
 // Returns a short stable name for a code ("InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
 
-// A Status is either OK or carries an error code and message.
-class Status {
+// A Status is either OK or carries an error code and message. The type is
+// [[nodiscard]] so the compiler flags any call that drops an error on the
+// floor; dbs_lint's nodiscard-status/unchecked-status rules enforce the
+// same contract at declaration sites.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
@@ -102,7 +105,7 @@ inline const char* StatusCodeName(StatusCode code) {
 // Result<T> holds either a value or an error Status. Accessing the value of
 // an errored Result is a checked fatal error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : storage_(std::move(value)) {}
@@ -113,7 +116,7 @@ class Result {
 
   bool ok() const { return std::holds_alternative<T>(storage_); }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(storage_);
   }

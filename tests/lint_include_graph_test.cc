@@ -1,0 +1,282 @@
+// Unit tests for the include-graph layering pass: matrix parsing, include
+// extraction (quoted / angle / computed operands), build-alike resolution,
+// the layering check, cycle detection, and frozen oracle files.
+
+#include "tools/lint/include_graph.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/lint/lexer.h"
+
+namespace dbs::lint {
+namespace {
+
+LayerMatrix Matrix(const std::string& text) {
+  LayerMatrix matrix;
+  std::string error;
+  EXPECT_TRUE(ParseLayerMatrix(text, &matrix, &error)) << error;
+  return matrix;
+}
+
+IncludeScan Scan(const std::string& source) {
+  return ScanIncludes(Lex(source));
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+TEST(LayerMatrixTest, ParsesModulesAndFrozenEntries) {
+  const LayerMatrix m = Matrix(
+      "# comment\n"
+      "module util:\n"
+      "module data: util\n"
+      "module tools: *\n"
+      "frozen src/cluster/ref.cc: <vector> data/scan.h\n");
+  ASSERT_EQ(m.allowed.size(), 3u);
+  EXPECT_TRUE(m.allowed.at("util").empty());
+  EXPECT_EQ(m.allowed.at("data").count("util"), 1u);
+  EXPECT_EQ(m.allowed.at("tools").count("*"), 1u);
+  ASSERT_EQ(m.frozen.size(), 1u);
+  EXPECT_EQ(m.frozen.at("src/cluster/ref.cc").count("<vector>"), 1u);
+}
+
+TEST(LayerMatrixTest, RejectsMalformedLines) {
+  LayerMatrix m;
+  std::string error;
+  EXPECT_FALSE(ParseLayerMatrix("module util\n", &m, &error));  // no colon
+  EXPECT_FALSE(ParseLayerMatrix("layer util:\n", &m, &error));  // bad kind
+  EXPECT_FALSE(
+      ParseLayerMatrix("module a:\nmodule a:\n", &m, &error));  // duplicate
+}
+
+TEST(ModuleOfTest, SecondComponentUnderSrcFirstOtherwise) {
+  EXPECT_EQ(ModuleOf("src/density/kde.cc"), "density");
+  EXPECT_EQ(ModuleOf("src/util/status.h"), "util");
+  EXPECT_EQ(ModuleOf("tools/dbs_lint.cc"), "tools");
+  EXPECT_EQ(ModuleOf("tests/lint_lexer_test.cc"), "tests");
+  EXPECT_EQ(ModuleOf("bench/bench_main.cc"), "bench");
+}
+
+TEST(ScanIncludesTest, QuotedAndAngleOperands) {
+  const IncludeScan scan = Scan(
+      "#include \"data/scan.h\"\n"
+      "#include <vector>\n"
+      "int x;\n");
+  ASSERT_EQ(scan.includes.size(), 2u);
+  EXPECT_EQ(scan.includes[0].operand, "data/scan.h");
+  EXPECT_EQ(scan.includes[0].line, 1);
+  EXPECT_EQ(scan.includes[1].operand, "<vector>");
+  EXPECT_TRUE(scan.skipped.empty());
+}
+
+// `#include MACRO` cannot be resolved without running the preprocessor;
+// the scan must skip it with a note instead of guessing or crashing.
+TEST(ScanIncludesTest, ComputedOperandSkippedWithNote) {
+  const IncludeScan scan = Scan(
+      "#define HDR \"data/scan.h\"\n"
+      "#include HDR\n");
+  EXPECT_TRUE(scan.includes.empty());
+  ASSERT_EQ(scan.skipped.size(), 1u);
+  EXPECT_EQ(scan.skipped[0].line, 2);
+  EXPECT_NE(scan.skipped[0].message.find("skipped"), std::string::npos);
+}
+
+TEST(ScanIncludesTest, IncludeInsideCommentIgnored) {
+  const IncludeScan scan = Scan("// #include \"data/scan.h\"\nint x;\n");
+  EXPECT_TRUE(scan.includes.empty());
+}
+
+TEST(ResolveIncludeTest, BuildLikeResolutionOrder) {
+  const std::set<std::string> known = {"src/data/scan.h", "src/data/sub/x.h",
+                                       "tools/lint/lint.h"};
+  // Repo-root-style operand (how src/ files include each other).
+  EXPECT_EQ(ResolveInclude("src/core/walk.cc", "data/scan.h", known),
+            "src/data/scan.h");
+  // Relative to the including file's directory.
+  EXPECT_EQ(ResolveInclude("src/data/scan.cc", "sub/x.h", known),
+            "src/data/sub/x.h");
+  // Repo-relative (how tools/tests include tool headers).
+  EXPECT_EQ(ResolveInclude("tests/t.cc", "tools/lint/lint.h", known),
+            "tools/lint/lint.h");
+  // System headers and unknown files are external.
+  EXPECT_EQ(ResolveInclude("src/data/scan.cc", "<vector>", known), "");
+  EXPECT_EQ(ResolveInclude("src/data/scan.cc", "not/here.h", known), "");
+}
+
+std::map<std::string, IncludeScan> Tree(
+    const std::map<std::string, std::string>& files) {
+  std::map<std::string, IncludeScan> scans;
+  for (const auto& [path, source] : files) scans[path] = Scan(source);
+  return scans;
+}
+
+const char* kMatrixText =
+    "module util:\n"
+    "module data: util\n"
+    "module density: data util\n"
+    "module serve: data density util\n"
+    "module tools: *\n";
+
+TEST(IncludeGraphTest, AllowedEdgesProduceNoFindings) {
+  const auto findings = CheckIncludeGraph(
+      Tree({{"src/data/scan.h", "#include \"util/status.h\"\n"},
+            {"src/util/status.h", "#include <string>\n"},
+            {"src/density/kde.h", "#include \"data/scan.h\"\n"}}),
+      Matrix(kMatrixText));
+  EXPECT_TRUE(findings.empty());
+}
+
+// The architectural invariant the pass exists for: the serving stack may
+// never be pulled into the library layers.
+TEST(IncludeGraphTest, ServeFromDensityIsALayerViolation) {
+  const auto findings = CheckIncludeGraph(
+      Tree({{"src/density/kde.h", "int x;\n#include \"serve/wire.h\"\n"},
+            {"src/serve/wire.h", "int y;\n"}}),
+      Matrix(kMatrixText));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layer-violation");
+  EXPECT_EQ(findings[0].file, "src/density/kde.h");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("serve"), std::string::npos);
+}
+
+TEST(IncludeGraphTest, WildcardModuleMayIncludeAnything) {
+  const auto findings = CheckIncludeGraph(
+      Tree({{"tools/dbs_serve.cc", "#include \"serve/wire.h\"\n"},
+            {"src/serve/wire.h", "int y;\n"}}),
+      Matrix(kMatrixText));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(IncludeGraphTest, UnknownModuleIsReported) {
+  const auto findings = CheckIncludeGraph(
+      Tree({{"src/mystery/new.h", "#include \"util/status.h\"\n"},
+            {"src/util/status.h", "int x;\n"}}),
+      Matrix(kMatrixText));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layer-violation");
+  EXPECT_NE(findings[0].message.find("not in the layering matrix"),
+            std::string::npos);
+}
+
+TEST(IncludeGraphTest, DetectsSeededCycle) {
+  const auto findings = CheckIncludeGraph(
+      Tree({{"src/data/a.h", "#include \"data/b.h\"\n"},
+            {"src/data/b.h", "#include \"data/c.h\"\n"},
+            {"src/data/c.h", "#include \"data/a.h\"\n"}}),
+      Matrix(kMatrixText));
+  const auto rules = Rules(findings);
+  ASSERT_EQ(rules, std::vector<std::string>{"include-cycle"});
+  // Reported once, anchored on the lexicographically first member.
+  EXPECT_EQ(findings[0].file, "src/data/a.h");
+  EXPECT_NE(findings[0].message.find("src/data/b.h"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/data/c.h"), std::string::npos);
+}
+
+TEST(IncludeGraphTest, SelfIncludeIsACycle) {
+  const auto findings = CheckIncludeGraph(
+      Tree({{"src/data/a.h", "#include \"data/a.h\"\n"}}),
+      Matrix(kMatrixText));
+  EXPECT_EQ(Rules(findings), std::vector<std::string>{"include-cycle"});
+}
+
+TEST(IncludeGraphTest, AcyclicDiamondIsClean) {
+  const auto findings = CheckIncludeGraph(
+      Tree({{"src/data/a.h",
+             "#include \"data/b.h\"\n#include \"data/c.h\"\n"},
+            {"src/data/b.h", "#include \"data/d.h\"\n"},
+            {"src/data/c.h", "#include \"data/d.h\"\n"},
+            {"src/data/d.h", "int x;\n"}}),
+      Matrix(kMatrixText));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(IncludeGraphTest, FrozenFileWithPinnedIncludesIsClean) {
+  const LayerMatrix m = Matrix(
+      "module data:\n"
+      "frozen src/data/oracle.cc: <vector> data/scan.h\n");
+  const auto findings = CheckIncludeGraph(
+      Tree({{"src/data/oracle.cc",
+             "#include <vector>\n#include \"data/scan.h\"\n"},
+            {"src/data/scan.h", "int x;\n"}}),
+      m);
+  EXPECT_TRUE(findings.empty());
+}
+
+// A frozen oracle gaining ANY new include — system headers included — is a
+// finding; its value is that it stays still.
+TEST(IncludeGraphTest, FrozenFileGainingIncludeIsReported) {
+  const LayerMatrix m = Matrix(
+      "module data:\n"
+      "frozen src/data/oracle.cc: <vector>\n");
+  const auto findings = CheckIncludeGraph(
+      Tree({{"src/data/oracle.cc", "#include <vector>\n#include <cmath>\n"}}),
+      m);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "frozen-include");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("<cmath>"), std::string::npos);
+}
+
+// The include pass shares the line rules' suppression channel: an allow
+// marker above the offending #include drops the finding.
+TEST(IncludeGraphTest, AllowMarkerSuppressesLayerViolation) {
+  LayerMatrix matrix = Matrix(kMatrixText);
+  TreeOptions options;
+  options.layers = &matrix;
+  const std::vector<SourceFile> files = {
+      {"src/density/kde.cc",
+       "// dbs-lint: allow(layer-violation): transitional, being inverted\n"
+       "#include \"serve/wire.h\"\n"},
+      {"src/serve/wire.h", "#ifndef WIRE_H\n#define WIRE_H\n#endif\n"}};
+  EXPECT_TRUE(LintTree(files, options).findings.empty());
+  // Without the marker the same tree fails.
+  const std::vector<SourceFile> bare = {
+      {"src/density/kde.cc", "#include \"serve/wire.h\"\n"},
+      files[1]};
+  EXPECT_EQ(Rules(LintTree(bare, options).findings),
+            std::vector<std::string>{"layer-violation"});
+}
+
+// LintTree surfaces computed/macro include operands as notes, so a clean
+// run still tells the reviewer what the analyzer could not see.
+TEST(IncludeGraphTest, LintTreeReportsSkippedIncludesAsNotes) {
+  LayerMatrix matrix = Matrix(kMatrixText);
+  TreeOptions options;
+  options.layers = &matrix;
+  const std::vector<SourceFile> files = {
+      {"src/data/gen.cc",
+       "#define HDR \"data/scan.h\"\n"
+       "#include HDR\n"}};
+  const TreeResult result = LintTree(files, options);
+  EXPECT_TRUE(result.findings.empty());
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes[0].find("skipped"), std::string::npos);
+}
+
+TEST(IncludeGraphTest, FindingsAreSortedAndDeterministic) {
+  const auto scans =
+      Tree({{"src/density/z.h", "#include \"serve/wire.h\"\n"},
+            {"src/density/a.h", "#include \"serve/wire.h\"\n"},
+            {"src/serve/wire.h", "int y;\n"}});
+  const auto first = CheckIncludeGraph(scans, Matrix(kMatrixText));
+  const auto second = CheckIncludeGraph(scans, Matrix(kMatrixText));
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].file, "src/density/a.h");
+  EXPECT_EQ(first[1].file, "src/density/z.h");
+  ASSERT_EQ(second.size(), first.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].file, second[i].file);
+    EXPECT_EQ(first[i].message, second[i].message);
+  }
+}
+
+}  // namespace
+}  // namespace dbs::lint

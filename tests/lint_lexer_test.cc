@@ -1,0 +1,223 @@
+// Unit tests for the dbs_lint lexer: phase-2 splices, raw strings with
+// adversarial delimiters, encoding prefixes, comment tokens, directive
+// mode, and the never-fail contract (malformed input → token + LexNote).
+
+#include "tools/lint/lexer.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dbs::lint {
+namespace {
+
+std::vector<Token> CodeTokens(const std::vector<Token>& tokens) {
+  std::vector<Token> code;
+  for (const Token& t : tokens) {
+    if (t.kind != TokKind::kComment) code.push_back(t);
+  }
+  return code;
+}
+
+TEST(LexerTest, BasicTokenKinds) {
+  const auto toks = Lex("int x = 42 + y;");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_TRUE(toks[0].starts_line);
+  EXPECT_EQ(toks[2].kind, TokKind::kPunct);
+  EXPECT_EQ(toks[2].text, "=");
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[3].text, "42");
+  EXPECT_FALSE(toks[3].starts_line);
+}
+
+TEST(LexerTest, MaximalMunchPunctuators) {
+  const auto toks = Lex("a<<=b;c->*d;e<=>f;g::h;");
+  std::vector<std::string> puncts;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kPunct) puncts.push_back(t.text);
+  }
+  const std::vector<std::string> want = {"<<=", ";", "->*", ";",
+                                         "<=>", ";", "::",  ";"};
+  EXPECT_EQ(puncts, want);
+}
+
+TEST(LexerTest, RawStringIsOneToken) {
+  const auto toks = Lex("auto s = R\"(hello \"world\")\";");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].text, "R\"(hello \"world\")\"");
+}
+
+// The delimiter exists exactly so the body may contain `)"`; the lexer
+// must scan for `)delim"` and not stop at the embedded `)"`.
+TEST(LexerTest, RawStringBodyContainingQuoteParen) {
+  const std::string src = "auto s = R\"xx(body with )\" inside)xx\"; int z;";
+  const auto toks = Lex(src);
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].text, "R\"xx(body with )\" inside)xx\"");
+  // Lexing resumed correctly after the literal.
+  EXPECT_EQ(toks[5].text, "int");
+}
+
+TEST(LexerTest, RawStringEncodingPrefixes) {
+  const auto toks = Lex("auto a = u8R\"(x)\"; auto b = LR\"(y)\";");
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].text, "u8R\"(x)\"");
+  EXPECT_EQ(toks[8].kind, TokKind::kString);
+  EXPECT_EQ(toks[8].text, "LR\"(y)\"");
+}
+
+TEST(LexerTest, MultiLineRawStringKeepsPhysicalLines) {
+  const auto toks = Lex("auto s = R\"(line one\nline two)\";\nint after;");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].line, 1);
+  EXPECT_EQ(toks[3].end_line, 2);
+  EXPECT_EQ(toks[5].text, "int");
+  EXPECT_EQ(toks[5].line, 3);
+}
+
+TEST(LexerTest, CharLiteralsAndEscapes) {
+  const auto toks = Lex("char a = '\\''; char b = L'x';");
+  EXPECT_EQ(toks[3].kind, TokKind::kChar);
+  EXPECT_EQ(toks[3].text, "'\\''");
+  EXPECT_EQ(toks[8].kind, TokKind::kChar);
+  EXPECT_EQ(toks[8].text, "L'x'");
+}
+
+TEST(LexerTest, StringEscapesDoNotTerminateEarly) {
+  const auto toks = Lex("auto s = \"a\\\"b\"; int z;");
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].text, "\"a\\\"b\"");
+  EXPECT_EQ(toks[5].text, "int");
+}
+
+TEST(LexerTest, CommentsAreTokens) {
+  const auto toks = Lex("int a; // trailing\n/* block */ int b;");
+  ASSERT_EQ(toks.size(), 8u);
+  EXPECT_EQ(toks[3].kind, TokKind::kComment);
+  EXPECT_EQ(toks[3].text, "// trailing");
+  EXPECT_EQ(toks[4].kind, TokKind::kComment);
+  EXPECT_EQ(toks[4].text, "/* block */");
+  EXPECT_EQ(toks[4].line, 2);
+}
+
+TEST(LexerTest, MultiLineBlockCommentSpansLines) {
+  const auto toks = Lex("/* one\ntwo\nthree */ int x;");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kComment);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].end_line, 3);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+// A backslash-newline splice inside a // comment extends the comment onto
+// the next physical line, exactly as the compiler's phase-2 translation
+// does. `int hidden;` must NOT appear as code tokens.
+TEST(LexerTest, LineContinuationExtendsLineComment) {
+  const auto toks = Lex("// comment \\\nint hidden;\nint visible;");
+  const auto code = CodeTokens(toks);
+  ASSERT_EQ(code.size(), 3u);
+  EXPECT_EQ(code[0].text, "int");
+  EXPECT_EQ(code[1].text, "visible");
+  EXPECT_EQ(code[0].line, 3);
+}
+
+// A splice through the middle of an identifier joins the halves into one
+// token, which keeps the physical line it started on.
+TEST(LexerTest, SpliceJoinsIdentifier) {
+  const auto toks = Lex("in\\\nt x;");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].text, "x");
+  EXPECT_EQ(toks[1].line, 2);
+}
+
+TEST(LexerTest, DirectiveTokensAreMarked) {
+  const auto toks = Lex("#define FOO { 1 }\nint x;");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[0].text, "#");
+  EXPECT_TRUE(toks[0].in_directive);
+  EXPECT_EQ(toks[1].text, "define");
+  EXPECT_TRUE(toks[1].in_directive);
+  // The macro body's braces are directive tokens too.
+  EXPECT_EQ(toks[3].text, "{");
+  EXPECT_TRUE(toks[3].in_directive);
+  // The next line is ordinary code again.
+  EXPECT_EQ(toks[6].text, "int");
+  EXPECT_FALSE(toks[6].in_directive);
+}
+
+TEST(LexerTest, SplicedDirectiveStaysOneDirective) {
+  const auto toks = Lex("#define BAR \\\n  { 2 }\nint x;");
+  bool brace_in_directive = false;
+  for (const Token& t : toks) {
+    if (t.text == "{") brace_in_directive = t.in_directive;
+  }
+  EXPECT_TRUE(brace_in_directive);
+}
+
+TEST(LexerTest, IncludeAngleOperandIsHeaderName) {
+  const auto toks = Lex("#include <vector>\n#include \"data/scan.h\"\n");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_EQ(toks[2].kind, TokKind::kHeaderName);
+  EXPECT_EQ(toks[2].text, "<vector>");
+  EXPECT_TRUE(toks[2].in_directive);
+  EXPECT_EQ(toks[5].kind, TokKind::kString);
+  EXPECT_EQ(toks[5].text, "\"data/scan.h\"");
+}
+
+// `a < b` in ordinary code must never lex as a header name.
+TEST(LexerTest, AngleOutsideIncludeIsPunct) {
+  const auto toks = Lex("bool c = a < b;");
+  for (const Token& t : toks) EXPECT_NE(t.kind, TokKind::kHeaderName);
+}
+
+TEST(LexerTest, HashMidLineIsNotADirective) {
+  const auto toks = Lex("int a = x # y;");  // not valid C++, but not a directive
+  for (const Token& t : toks) EXPECT_FALSE(t.in_directive);
+}
+
+TEST(LexerTest, PpNumbersWithExponentsAndSeparators) {
+  const auto toks = Lex("double d = 1.5e-3; int n = 1'000'000; auto h = 0x1fp2;");
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[3].text, "1.5e-3");
+  EXPECT_EQ(toks[8].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[8].text, "1'000'000");
+  EXPECT_EQ(toks[13].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[13].text, "0x1fp2");
+}
+
+TEST(LexerTest, UnterminatedStringProducesNote) {
+  std::vector<LexNote> notes;
+  const auto toks = Lex("auto s = \"never closed\nint x;", &notes);
+  EXPECT_FALSE(notes.empty());
+  EXPECT_FALSE(toks.empty());
+}
+
+TEST(LexerTest, UnterminatedBlockCommentProducesNote) {
+  std::vector<LexNote> notes;
+  const auto toks = Lex("int a; /* runs off the end", &notes);
+  EXPECT_FALSE(notes.empty());
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks.back().kind, TokKind::kComment);
+}
+
+TEST(LexerTest, InvalidRawDelimiterProducesNote) {
+  std::vector<LexNote> notes;
+  // A space in the delimiter is ill-formed; the lexer must note it and
+  // keep going rather than swallow the rest of the file.
+  const auto toks = Lex("auto s = R\"a b(x)a b\"; int z;", &notes);
+  EXPECT_FALSE(notes.empty());
+  EXPECT_FALSE(toks.empty());
+}
+
+}  // namespace
+}  // namespace dbs::lint

@@ -113,6 +113,7 @@ TEST(ModelRegistryTest, HotSwapUnderConcurrentReaders) {
   std::vector<std::thread> readers;
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&] {
+      // dbs-lint: allow(relaxed-atomic): stop flag, no data published through it
       while (!stop.load(std::memory_order_relaxed)) {
         auto model = registry.Get("m");
         if (!model.ok()) continue;  // mid-evict window
@@ -120,6 +121,7 @@ TEST(ModelRegistryTest, HotSwapUnderConcurrentReaders) {
         if (value != value_a && value != value_b) {
           mismatches.fetch_add(1);
         }
+        // dbs-lint: allow(relaxed-atomic): pure counter, read after join
         reads.fetch_add(1, std::memory_order_relaxed);
       }
     });

@@ -82,7 +82,7 @@ void ExpectSameModel(const density::Kde& got, const density::Kde& want) {
 }
 
 // Left fold in the given order of shard indices.
-Result<density::Kde> FoldAndFinalize(
+[[nodiscard]] Result<density::Kde> FoldAndFinalize(
     const std::vector<density::PartialKde>& partials,
     const std::vector<size_t>& order) {
   density::PartialKde acc = partials[order[0]];

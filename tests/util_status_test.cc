@@ -61,12 +61,12 @@ TEST(ResultTest, ArrowOperator) {
   EXPECT_EQ(r->size(), 5u);
 }
 
-Status FailIfNegative(int x) {
+[[nodiscard]] Status FailIfNegative(int x) {
   if (x < 0) return Status::InvalidArgument("negative");
   return Status::Ok();
 }
 
-Status Chained(int x) {
+[[nodiscard]] Status Chained(int x) {
   DBS_RETURN_IF_ERROR(FailIfNegative(x));
   return Status::Ok();
 }
@@ -76,12 +76,12 @@ TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
 }
 
-Result<int> MakeValue(bool fail) {
+[[nodiscard]] Result<int> MakeValue(bool fail) {
   if (fail) return Status::Internal("boom");
   return 10;
 }
 
-Result<int> UsesAssignOrReturn(bool fail) {
+[[nodiscard]] Result<int> UsesAssignOrReturn(bool fail) {
   DBS_ASSIGN_OR_RETURN(int v, MakeValue(fail));
   return v + 1;
 }

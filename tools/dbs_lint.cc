@@ -2,24 +2,35 @@
 // guarantees (see tools/lint/lint.h for the rule catalog).
 //
 // Usage:
-//   dbs_lint [root=.] [paths=src,tools,bench,tests]
+//   dbs_lint [root=.] [paths=src,tools,bench,tests,examples]
 //            [baseline=tools/dbs_lint_baseline.txt]
+//            [layers=tools/lint/layers.txt]
 //            [format=text|json|github] [update_baseline=0] [out=]
+//            [disable=rule-a,rule-b] [notes=1]
+//   dbs_lint explain=<rule>|all
 //
 // Exits 0 when no findings survive the baseline, 1 on findings, 2 on
 // usage or I/O errors. `format=github` emits workflow annotations so CI
 // findings appear inline on pull requests. `update_baseline=1` rewrites
 // the baseline to grandfather the current findings instead of failing.
+// `explain=<rule>` prints the rule's rationale and exits; `disable=`
+// drops named rules from this run (the CI gate runs with none disabled).
+// `layers=` points at the allowed-layers matrix; `layers=` (empty) skips
+// the include-graph pass. Informational notes — lexer guesses and
+// #include operands that cannot be resolved statically — go to stderr
+// unless notes=0.
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "tools/flags.h"
+#include "tools/lint/include_graph.h"
 #include "tools/lint/lint.h"
 
 namespace {
@@ -47,7 +58,24 @@ std::vector<std::string> SplitList(const std::string& csv) {
 
 bool IsSourceFile(const fs::path& p) {
   const std::string ext = p.extension().string();
-  return ext == ".cc" || ext == ".h";
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+int Explain(const std::string& rule) {
+  std::vector<std::string> rules =
+      rule == "all" ? dbs::lint::AllRules() : std::vector<std::string>{rule};
+  for (const std::string& r : rules) {
+    const char* doc = dbs::lint::ExplainRule(r);
+    if (doc == nullptr) {
+      std::fprintf(stderr, "unknown rule '%s'; known rules:\n", r.c_str());
+      for (const std::string& known : dbs::lint::AllRules()) {
+        std::fprintf(stderr, "  %s\n", known.c_str());
+      }
+      return 2;
+    }
+    std::printf("%s\n  %s\n", r.c_str(), doc);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -56,16 +84,31 @@ int main(int argc, char** argv) {
   dbs::tools::Flags flags;
   if (!flags.Parse(argc, argv)) return 2;
   const std::string root = flags.GetString("root", ".");
-  const std::string paths = flags.GetString("paths", "src,tools,bench,tests");
+  const std::string paths =
+      flags.GetString("paths", "src,tools,bench,tests,examples");
   const std::string baseline_rel =
       flags.GetString("baseline", "tools/dbs_lint_baseline.txt");
+  const std::string layers_rel =
+      flags.GetString("layers", "tools/lint/layers.txt");
   const std::string format = flags.GetString("format", "text");
   const bool update_baseline = flags.GetInt("update_baseline", 0) != 0;
   const std::string out_path = flags.GetString("out", "");
+  const std::string explain = flags.GetString("explain", "");
+  const std::string disable = flags.GetString("disable", "");
+  const bool show_notes = flags.GetInt("notes", 1) != 0;
   if (!flags.AllKnown()) return 2;
+  if (!explain.empty()) return Explain(explain);
   if (format != "text" && format != "json" && format != "github") {
     std::fprintf(stderr, "format must be text, json or github\n");
     return 2;
+  }
+  std::set<std::string> disabled;
+  for (const std::string& rule : SplitList(disable)) {
+    if (dbs::lint::ExplainRule(rule) == nullptr) {
+      std::fprintf(stderr, "disable= names unknown rule '%s'\n", rule.c_str());
+      return 2;
+    }
+    disabled.insert(rule);
   }
 
   // Deterministic file order: collect, then sort by repo-relative path.
@@ -84,17 +127,43 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<dbs::lint::Finding> findings;
+  std::vector<dbs::lint::SourceFile> sources;
+  sources.reserve(files.size());
   for (const std::string& rel : files) {
     std::string content;
     if (!ReadFile(fs::path(root) / rel, &content)) {
       std::fprintf(stderr, "cannot read %s\n", rel.c_str());
       return 2;
     }
-    std::vector<dbs::lint::Finding> file_findings =
-        dbs::lint::LintSource(rel, content);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
+    sources.push_back({rel, std::move(content)});
+  }
+
+  dbs::lint::LayerMatrix matrix;
+  dbs::lint::TreeOptions options;
+  if (!layers_rel.empty()) {
+    std::string text;
+    if (!ReadFile(fs::path(root) / layers_rel, &text)) {
+      std::fprintf(stderr, "cannot read layer matrix %s\n",
+                   layers_rel.c_str());
+      return 2;
+    }
+    std::string error;
+    if (!dbs::lint::ParseLayerMatrix(text, &matrix, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    options.layers = &matrix;
+  }
+
+  dbs::lint::TreeResult tree = dbs::lint::LintTree(sources, options);
+  std::vector<dbs::lint::Finding> findings;
+  for (dbs::lint::Finding& f : tree.findings) {
+    if (disabled.count(f.rule) == 0) findings.push_back(std::move(f));
+  }
+  if (show_notes) {
+    for (const std::string& note : tree.notes) {
+      std::fprintf(stderr, "note: %s\n", note.c_str());
+    }
   }
 
   const fs::path baseline_path = fs::path(root) / baseline_rel;

@@ -61,7 +61,7 @@ bool ParsePorts(const std::string& spec, std::vector<uint16_t>* ports) {
 // Pairwise tree reduction of the collected shard states; the merge is a
 // sorted disjoint union, so the pairing cannot affect the result — the tree
 // shape only bounds the reduction depth.
-dbs::Result<dbs::density::PartialKde> TreeReduce(
+[[nodiscard]] dbs::Result<dbs::density::PartialKde> TreeReduce(
     std::vector<dbs::density::PartialKde> parts) {
   while (parts.size() > 1) {
     std::vector<dbs::density::PartialKde> next;

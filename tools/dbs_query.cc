@@ -36,7 +36,7 @@ int Fail(const dbs::Status& status, const char* what) {
   return 1;
 }
 
-dbs::Result<dbs::data::PointSet> LoadPoints(const std::string& path) {
+[[nodiscard]] dbs::Result<dbs::data::PointSet> LoadPoints(const std::string& path) {
   if (path.empty()) {
     return dbs::Status::InvalidArgument("in= is required for this op");
   }

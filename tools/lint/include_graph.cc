@@ -1,0 +1,263 @@
+#include "tools/lint/include_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dbs::lint {
+namespace {
+
+// Collapses "a/b/../c" and "a/./c" segments so resolved paths compare
+// equal to the scanned repo-relative paths.
+std::string NormalizePath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::istringstream in(path);
+  std::string seg;
+  while (std::getline(in, seg, '/')) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == ".." && !parts.empty() && parts.back() != "..") {
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(seg);
+  }
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back('/');
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+}  // namespace
+
+bool ParseLayerMatrix(const std::string& text, LayerMatrix* matrix,
+                      std::string* error) {
+  *matrix = LayerMatrix{};
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and surrounding whitespace.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;  // blank
+    std::string name;
+    if (!(fields >> name) || name.empty() || name.back() != ':') {
+      *error = "layers.txt:" + std::to_string(line_no) +
+               ": expected `module NAME:` or `frozen PATH:`";
+      return false;
+    }
+    name.pop_back();
+    std::set<std::string> deps;
+    std::string dep;
+    while (fields >> dep) deps.insert(dep);
+    if (kind == "module") {
+      if (!matrix->allowed.emplace(name, std::move(deps)).second) {
+        *error = "layers.txt:" + std::to_string(line_no) +
+                 ": duplicate module " + name;
+        return false;
+      }
+    } else if (kind == "frozen") {
+      if (!matrix->frozen.emplace(name, std::move(deps)).second) {
+        *error = "layers.txt:" + std::to_string(line_no) +
+                 ": duplicate frozen entry " + name;
+        return false;
+      }
+    } else {
+      *error = "layers.txt:" + std::to_string(line_no) +
+               ": unknown entry kind `" + kind + "`";
+      return false;
+    }
+  }
+  return true;
+}
+
+IncludeScan ScanIncludes(const std::vector<Token>& tokens) {
+  IncludeScan scan;
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (!(tokens[i].kind == TokKind::kPunct && tokens[i].text == "#" &&
+          tokens[i].in_directive)) {
+      continue;
+    }
+    const Token& name = tokens[i + 1];
+    if (name.kind != TokKind::kIdent ||
+        (name.text != "include" && name.text != "include_next")) {
+      continue;
+    }
+    if (i + 2 >= tokens.size() || tokens[i + 2].line != tokens[i].line) {
+      scan.skipped.push_back({tokens[i].line, "#include with no operand"});
+      continue;
+    }
+    const Token& operand = tokens[i + 2];
+    if (operand.kind == TokKind::kString && operand.text.size() >= 2) {
+      scan.includes.push_back(
+          {operand.text.substr(1, operand.text.size() - 2), operand.line});
+    } else if (operand.kind == TokKind::kHeaderName) {
+      scan.includes.push_back({operand.text, operand.line});
+    } else {
+      scan.skipped.push_back(
+          {operand.line,
+           "#include with computed/macro operand `" + operand.text +
+               "` cannot be resolved statically; skipped"});
+    }
+  }
+  return scan;
+}
+
+std::string ModuleOf(const std::string& path) {
+  std::istringstream in(path);
+  std::string first;
+  std::getline(in, first, '/');
+  if (first != "src") return first;
+  std::string second;
+  std::getline(in, second, '/');
+  return second;
+}
+
+std::string ResolveInclude(const std::string& from, const std::string& operand,
+                           const std::set<std::string>& known_files) {
+  if (!operand.empty() && operand.front() == '<') return "";  // system header
+  const std::string dir = DirName(from);
+  for (const std::string& candidate :
+       {dir.empty() ? operand : dir + "/" + operand, "src/" + operand,
+        operand}) {
+    const std::string normalized = NormalizePath(candidate);
+    if (known_files.count(normalized) != 0) return normalized;
+  }
+  return "";
+}
+
+std::vector<Finding> CheckIncludeGraph(
+    const std::map<std::string, IncludeScan>& scans,
+    const LayerMatrix& matrix) {
+  std::vector<Finding> findings;
+  std::set<std::string> known;
+  for (const auto& [path, scan] : scans) known.insert(path);
+
+  // Resolved project-internal edges, per file, in include order.
+  std::map<std::string, std::vector<std::pair<std::string, int>>> edges;
+  for (const auto& [path, scan] : scans) {
+    auto& out = edges[path];
+    for (const IncludeRef& ref : scan.includes) {
+      const std::string target = ResolveInclude(path, ref.operand, known);
+      if (!target.empty()) out.push_back({target, ref.line});
+    }
+  }
+
+  // Layering: every resolved edge must be module-allowed.
+  for (const auto& [path, out] : edges) {
+    const std::string from = ModuleOf(path);
+    const auto allowed_it = matrix.allowed.find(from);
+    for (const auto& [target, line] : out) {
+      const std::string to = ModuleOf(target);
+      if (to == from) continue;
+      Finding f;
+      f.rule = "layer-violation";
+      f.file = path;
+      f.line = line;
+      f.code = "#include \"" + target + "\"";
+      if (allowed_it == matrix.allowed.end()) {
+        f.message = "module `" + from +
+                    "` is not in the layering matrix; add a `module " + from +
+                    ":` entry to tools/lint/layers.txt";
+      } else if (allowed_it->second.count("*") != 0 ||
+                 allowed_it->second.count(to) != 0) {
+        continue;
+      } else {
+        f.message = "module `" + from + "` may not include module `" + to +
+                    "` (allowed-layers matrix, tools/lint/layers.txt); " +
+                    "invert the dependency or amend the matrix with a " +
+                    "reviewed `module " + from + ": ... " + to + "` entry";
+      }
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // Frozen oracle files: the exact operand list is pinned, system headers
+  // included — a frozen file gaining any dependency is a finding.
+  for (const auto& [path, pinned] : matrix.frozen) {
+    const auto it = scans.find(path);
+    if (it == scans.end()) continue;
+    for (const IncludeRef& ref : it->second.includes) {
+      if (pinned.count(ref.operand) != 0) continue;
+      Finding f;
+      f.rule = "frozen-include";
+      f.file = path;
+      f.line = ref.line;
+      f.code = "#include " + (ref.operand.front() == '<'
+                                  ? ref.operand
+                                  : "\"" + ref.operand + "\"");
+      f.message = "frozen oracle file gained include `" + ref.operand +
+                  "`; oracles must not grow dependencies (pinned list in "
+                  "tools/lint/layers.txt)";
+      findings.push_back(std::move(f));
+    }
+  }
+
+  // Cycle detection: iterative DFS with colors; each cycle is reported
+  // once, anchored on its lexicographically smallest member (file order
+  // and edge order are already deterministic).
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  // Recursive lambda via explicit stack of (node, next edge index).
+  for (const auto& [start, unused] : edges) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::string, size_t>> dfs;
+    dfs.push_back({start, 0});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!dfs.empty()) {
+      auto& [node, next] = dfs.back();
+      const auto& out = edges[node];
+      if (next >= out.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        dfs.pop_back();
+        continue;
+      }
+      const auto [target, line] = out[next++];
+      if (color[target] == 1) {
+        // Found a cycle: stack suffix from `target` to `node`.
+        const auto begin =
+            std::find(stack.begin(), stack.end(), target);
+        std::vector<std::string> cycle(begin, stack.end());
+        const auto smallest =
+            std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), smallest, cycle.end());
+        std::string key;
+        for (const std::string& p : cycle) key += p + " -> ";
+        if (!reported.insert(key).second) continue;
+        Finding f;
+        f.rule = "include-cycle";
+        f.file = cycle.front();
+        f.line = line;
+        f.code = "#include \"" + target + "\"";
+        f.message = "include cycle: " + key + cycle.front();
+        findings.push_back(std::move(f));
+      } else if (color[target] == 0) {
+        color[target] = 1;
+        stack.push_back(target);
+        dfs.push_back({target, 0});
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace dbs::lint

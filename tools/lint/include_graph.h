@@ -1,0 +1,92 @@
+// Include-graph layering pass.
+//
+// The library's module structure is a DAG the ROADMAP has kept implicit:
+// util at the bottom, data above it, density/sampling above data, the
+// core/outlier algorithm layers above those, and the application layers
+// (cluster, shard, serve, eval) on top. Nothing enforced it — a stray
+// `#include "serve/..."` from src/density would compile fine and quietly
+// invert the architecture. This pass makes the matrix explicit and
+// checked in:
+//
+//   layer-violation   file in module A includes a file in module B and the
+//                     matrix has no `module A: ... B ...` entry. `serve`
+//                     appears in no library module's list, so the serving
+//                     stack can never be pulled into the library.
+//   include-cycle     the quoted-include graph has a cycle (reported once
+//                     per cycle, on its lexicographically first file).
+//   frozen-include    a frozen oracle file (e.g. the do-not-improve
+//                     reference agglomeration) gained an include that is
+//                     not in its pinned list. Oracles must not grow new
+//                     dependencies — their value is that they stay still.
+//
+// The matrix lives in tools/lint/layers.txt. Module of a file: second path
+// component under src/ ("src/density/kde.cc" → density), first component
+// otherwise ("tools", "tests", "bench", "examples"). Quoted operands are
+// resolved the way the build resolves them: relative to the including
+// file's directory, then against src/, then against the repo root;
+// operands that resolve to no scanned file are external and exempt from
+// layering (but still pinned for frozen files, system headers included).
+// `#include` with a computed/macro operand cannot be resolved statically
+// and is skipped with a note.
+
+#ifndef DBS_TOOLS_LINT_INCLUDE_GRAPH_H_
+#define DBS_TOOLS_LINT_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/lint.h"
+
+namespace dbs::lint {
+
+struct LayerMatrix {
+  // module -> modules it may include (self is always allowed). A single
+  // "*" entry means "anything" (the tool/test/bench/example leaves).
+  std::map<std::string, std::set<std::string>> allowed;
+  // frozen file -> exact allowed include operands, as written in the
+  // source (quoted operands bare, system operands in <angle brackets>).
+  std::map<std::string, std::set<std::string>> frozen;
+};
+
+// Parses the layers.txt format:
+//   module NAME: dep dep ...        (or `module NAME: *`)
+//   frozen PATH: operand operand ...
+//   # comment / blank lines ignored
+// Returns false and sets `error` on malformed input.
+bool ParseLayerMatrix(const std::string& text, LayerMatrix* matrix,
+                      std::string* error);
+
+// One #include found in a file's token stream.
+struct IncludeRef {
+  std::string operand;  // "data/kd_tree.h" or "<vector>" for system headers
+  int line = 0;
+};
+
+struct IncludeScan {
+  std::vector<IncludeRef> includes;
+  std::vector<LexNote> skipped;  // computed/macro operands, with position
+};
+
+// Extracts every #include from a lexed file.
+IncludeScan ScanIncludes(const std::vector<Token>& tokens);
+
+// Module a repo-relative path belongs to.
+std::string ModuleOf(const std::string& path);
+
+// Resolves a quoted operand from `from` against the scanned file set;
+// returns "" when the target is external to the repo.
+std::string ResolveInclude(const std::string& from, const std::string& operand,
+                           const std::set<std::string>& known_files);
+
+// Runs the layering, cycle and frozen-file checks over the whole tree.
+// `scans` maps each repo-relative path to its extracted includes.
+std::vector<Finding> CheckIncludeGraph(
+    const std::map<std::string, IncludeScan>& scans,
+    const LayerMatrix& matrix);
+
+}  // namespace dbs::lint
+
+#endif  // DBS_TOOLS_LINT_INCLUDE_GRAPH_H_

@@ -1,0 +1,276 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+
+namespace dbs::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Encoding prefixes that may precede a string or char literal.
+bool IsStringPrefix(const std::string& id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+bool IsRawStringPrefix(const std::string& id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+// Multi-character punctuators, longest first so maximal munch is a linear
+// scan. ">>" stays one token; angle balancing in the passes splits it.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "<=>", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=",  "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",  "++",  "--",  "##",  ".*",
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& content,
+                       std::vector<LexNote>* notes) {
+  // Phase 2 translation: delete backslash-newline splices, remembering the
+  // physical line of every surviving character.
+  std::string text;
+  std::vector<int> line_of;
+  text.reserve(content.size());
+  line_of.reserve(content.size());
+  {
+    int line = 1;
+    const size_t n = content.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (content[i] == '\\') {
+        size_t j = i + 1;
+        if (j < n && content[j] == '\r') ++j;
+        if (j < n && content[j] == '\n') {
+          i = j;
+          ++line;
+          continue;
+        }
+      }
+      text.push_back(content[i]);
+      line_of.push_back(line);
+      if (content[i] == '\n') ++line;
+    }
+  }
+
+  auto note = [notes](int line, std::string message) {
+    if (notes != nullptr) notes->push_back({line, std::move(message)});
+  };
+
+  std::vector<Token> tokens;
+  const size_t n = text.size();
+  size_t i = 0;
+  bool at_line_start = true;   // only whitespace seen since the last newline
+  bool in_directive = false;   // between a line-leading '#' and end of line
+  std::string directive_name;  // first identifier after '#'
+  bool expect_header = false;  // next '<' opens an include header-name
+
+  auto push = [&](TokKind kind, size_t begin, size_t end) {
+    Token t;
+    t.kind = kind;
+    t.text = text.substr(begin, end - begin);
+    t.line = line_of[begin];
+    t.end_line = line_of[end - 1];
+    t.starts_line = at_line_start;
+    t.in_directive = in_directive;
+    at_line_start = false;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      at_line_start = true;
+      in_directive = false;
+      directive_name.clear();
+      expect_header = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Comments (one token each, possibly spanning lines).
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      push(TokKind::kComment, i, end);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) {
+        note(line_of[i], "unterminated block comment");
+        end = n;
+      } else {
+        end += 2;
+      }
+      push(TokKind::kComment, i, end);
+      i = end;
+      continue;
+    }
+
+    // Identifiers, keywords and literal prefixes.
+    if (IsIdentStart(c)) {
+      size_t end = i;
+      while (end < n && IsIdentChar(text[end])) ++end;
+      const std::string id = text.substr(i, end - i);
+      // Raw string: R"delim( ... )delim"
+      if (end < n && text[end] == '"' && IsRawStringPrefix(id)) {
+        size_t open = text.find('(', end + 1);
+        // A raw-string delimiter is at most 16 chars and contains no
+        // parens, quotes or whitespace; anything else means this was not
+        // actually a raw string opener.
+        bool valid = open != std::string::npos && open - end - 1 <= 16;
+        for (size_t k = end + 1; valid && k < open; ++k) {
+          const char d = text[k];
+          if (d == ')' || d == '"' ||
+              std::isspace(static_cast<unsigned char>(d)) != 0) {
+            valid = false;
+          }
+        }
+        if (valid) {
+          std::string closer = ")";
+          closer.append(text, end + 1, open - end - 1);
+          closer.push_back('"');
+          size_t close = text.find(closer, open + 1);
+          size_t lit_end;
+          if (close == std::string::npos) {
+            note(line_of[i], "unterminated raw string literal");
+            lit_end = n;
+          } else {
+            lit_end = close + closer.size();
+          }
+          push(TokKind::kString, i, lit_end);
+          i = lit_end;
+          continue;
+        }
+        // Ill-formed opener (no '(', or a delimiter with parens/quotes/
+        // whitespace or over 16 chars): recover as an ordinary literal
+        // below, but tell the caller the lexing here is a guess.
+        note(line_of[i],
+             "invalid raw string delimiter; lexed as an ordinary literal");
+      }
+      // Ordinary prefixed literal: u8"...", L'x'.
+      if (end < n && (text[end] == '"' || text[end] == '\'') &&
+          (IsStringPrefix(id) || IsRawStringPrefix(id))) {
+        const char quote = text[end];
+        size_t k = end + 1;
+        while (k < n && text[k] != quote && text[k] != '\n') {
+          if (text[k] == '\\' && k + 1 < n) ++k;
+          ++k;
+        }
+        if (k >= n || text[k] == '\n') {
+          note(line_of[i], "unterminated literal");
+        } else {
+          ++k;  // closing quote
+        }
+        push(quote == '"' ? TokKind::kString : TokKind::kChar, i, k);
+        i = k;
+        continue;
+      }
+      push(TokKind::kIdent, i, end);
+      if (in_directive && directive_name.empty()) {
+        directive_name = id;
+        expect_header =
+            (directive_name == "include" || directive_name == "include_next");
+      }
+      i = end;
+      continue;
+    }
+
+    // Numbers (pp-number: digits, idents, dots, digit separators, and
+    // sign characters after an exponent letter).
+    if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(text[i + 1]))) {
+      size_t end = i;
+      while (end < n) {
+        const char d = text[end];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++end;
+        } else if ((d == '+' || d == '-') && end > i &&
+                   (text[end - 1] == 'e' || text[end - 1] == 'E' ||
+                    text[end - 1] == 'p' || text[end - 1] == 'P')) {
+          ++end;
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, i, end);
+      i = end;
+      continue;
+    }
+
+    // String and char literals without a prefix.
+    if (c == '"' || c == '\'') {
+      size_t k = i + 1;
+      while (k < n && text[k] != c && text[k] != '\n') {
+        if (text[k] == '\\' && k + 1 < n) ++k;
+        ++k;
+      }
+      if (k >= n || text[k] == '\n') {
+        note(line_of[i], "unterminated literal");
+      } else {
+        ++k;
+      }
+      push(c == '"' ? TokKind::kString : TokKind::kChar, i, k);
+      i = k;
+      continue;
+    }
+
+    // The <...> operand of #include, one token.
+    if (c == '<' && expect_header) {
+      size_t end = i + 1;
+      while (end < n && text[end] != '>' && text[end] != '\n') ++end;
+      if (end >= n || text[end] == '\n') {
+        note(line_of[i], "unterminated include header name");
+      } else {
+        ++end;
+      }
+      push(TokKind::kHeaderName, i, end);
+      expect_header = false;
+      i = end;
+      continue;
+    }
+
+    // '#' opening a directive. Mark the '#' itself as directive content so
+    // downstream passes (ScanIncludes, CodeTokens) see one coherent span.
+    if (c == '#' && at_line_start) {
+      in_directive = true;
+      push(TokKind::kPunct, i, i + 1);
+      directive_name.clear();
+      ++i;
+      continue;
+    }
+
+    // Punctuators, maximal munch.
+    {
+      size_t len = 1;
+      for (const char* p : kPuncts) {
+        const size_t plen = std::char_traits<char>::length(p);
+        if (text.compare(i, plen, p) == 0) {
+          len = plen;
+          break;
+        }
+      }
+      push(TokKind::kPunct, i, i + len);
+      // A quoted #include operand is an ordinary kString; only '<' needs
+      // the special case, so any other punct cancels the expectation...
+      if (expect_header && text[i] != '<') expect_header = false;
+      i += len;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace dbs::lint

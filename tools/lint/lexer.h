@@ -1,0 +1,65 @@
+// A small C++ lexer for the dbs_lint semantic passes.
+//
+// PR 3's rule engine works line by line on comment-stripped text, which is
+// enough for token-presence rules but cannot see declaration structure,
+// statement boundaries or the include graph. This lexer produces the token
+// stream those passes need:
+//
+//   - phase-2 translation first: backslash-newline splices are removed
+//     before tokenization (so a line continuation inside a `//` comment
+//     extends the comment, exactly as the compiler sees it), while every
+//     token keeps the PHYSICAL line it started on for findings;
+//   - raw string literals with arbitrary delimiters (including bodies
+//     containing `)"`), ordinary string/char literals with escapes, and
+//     encoding prefixes (u8R"...", L'x', ...) are each one token;
+//   - comments are tokens, not discarded — rules like mutex-comment need
+//     to know whether a declaration has an adjacent comment;
+//   - preprocessor directives are first-class: a `#` that starts a logical
+//     line opens directive mode until the (spliced) end of line, tokens
+//     inside carry `in_directive`, and the `<...>` operand of `#include`
+//     is lexed as one kHeaderName token.
+//
+// The lexer never fails: malformed input (unterminated literal, stray
+// byte) produces a best-effort token plus a LexNote so callers can report
+// "skipped with a note" instead of silently mis-lexing.
+
+#ifndef DBS_TOOLS_LINT_LEXER_H_
+#define DBS_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace dbs::lint {
+
+enum class TokKind {
+  kIdent,       // identifiers and keywords
+  kNumber,      // pp-number (covers all numeric literal spellings)
+  kString,      // string literal, raw or not, including encoding prefix
+  kChar,        // character literal including encoding prefix
+  kPunct,       // one operator or punctuator, maximal munch
+  kComment,     // one entire // or /* */ comment, newlines included
+  kHeaderName,  // <...> operand of #include, angle brackets included
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;          // exact spelling (post-splice)
+  int line = 0;              // physical 1-based line of the first character
+  int end_line = 0;          // physical line of the last character
+  bool starts_line = false;  // first token on its physical line
+  bool in_directive = false; // part of a preprocessor directive
+};
+
+struct LexNote {
+  int line = 0;
+  std::string message;
+};
+
+// Tokenizes `content`. Notes (if `notes` is non-null) describe places the
+// lexer had to guess; the token stream itself is always usable.
+std::vector<Token> Lex(const std::string& content,
+                       std::vector<LexNote>* notes = nullptr);
+
+}  // namespace dbs::lint
+
+#endif  // DBS_TOOLS_LINT_LEXER_H_

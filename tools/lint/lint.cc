@@ -4,7 +4,12 @@
 #include <cctype>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <sstream>
+
+#include "tools/lint/decl_rules.h"
+#include "tools/lint/include_graph.h"
+#include "tools/lint/lexer.h"
 
 namespace dbs::lint {
 namespace {
@@ -433,13 +438,27 @@ std::vector<Finding> LintSource(const std::string& path,
   CheckServeThrow(ctx);
   CheckHeaderRules(ctx);
 
+  std::vector<Finding> kept = ApplyAllowMarkers(lines, findings);
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return kept;
+}
+
+std::vector<Finding> ApplyAllowMarkers(const std::vector<CodeLine>& lines,
+                                       const std::vector<Finding>& findings) {
   // Suppressions: a marker on the offending line, or alone on the line
   // above it (a comment-only line applies downward).
   std::vector<Finding> kept;
   for (const Finding& f : findings) {
     const size_t idx = static_cast<size_t>(f.line - 1);
-    std::vector<std::string> allowed =
-        ParseAllowMarker(lines[idx].raw);
+    if (idx >= lines.size()) {
+      kept.push_back(f);
+      continue;
+    }
+    std::vector<std::string> allowed = ParseAllowMarker(lines[idx].raw);
     if (idx > 0 && IsBlank(lines[idx - 1].code)) {
       std::vector<std::string> above = ParseAllowMarker(lines[idx - 1].raw);
       allowed.insert(allowed.end(), above.begin(), above.end());
@@ -449,12 +468,201 @@ std::vector<Finding> LintSource(const std::string& path,
     }
     kept.push_back(f);
   }
-  std::stable_sort(kept.begin(), kept.end(),
+  return kept;
+}
+
+TreeResult LintTree(const std::vector<SourceFile>& files,
+                    const TreeOptions& options) {
+  TreeResult result;
+
+  // Lex every file once; the decl pass and the include pass share the
+  // token streams, and the stripped lines serve marker suppression and
+  // the normalized `code` field of token-pass findings.
+  struct Prepared {
+    std::vector<Token> tokens;
+    std::vector<CodeLine> lines;
+  };
+  std::map<std::string, Prepared> prepared;
+  std::set<std::string> status_functions;
+  std::set<std::string> void_functions;
+  for (const SourceFile& file : files) {
+    Prepared p;
+    std::vector<LexNote> notes;
+    p.tokens = Lex(file.content, &notes);
+    p.lines = StripComments(file.content);
+    for (const LexNote& n : notes) {
+      result.notes.push_back(file.path + ":" + std::to_string(n.line) + ": " +
+                             n.message);
+    }
+    const StatusFunctionSets local = CollectStatusFunctions(p.tokens);
+    status_functions.insert(local.status_returning.begin(),
+                            local.status_returning.end());
+    void_functions.insert(local.void_returning.begin(),
+                          local.void_returning.end());
+    prepared.emplace(file.path, std::move(p));
+  }
+  // A name also declared void anywhere is ambiguous without overload
+  // resolution; drop it rather than flag the wrong overload.
+  for (const std::string& name : void_functions) {
+    status_functions.erase(name);
+  }
+
+  auto fill_code_and_suppress = [](const Prepared& p,
+                                   std::vector<Finding> raw) {
+    for (Finding& f : raw) {
+      const size_t idx = static_cast<size_t>(f.line - 1);
+      if (f.code.empty() && idx < p.lines.size()) {
+        f.code = Normalize(p.lines[idx].code);
+      }
+    }
+    return ApplyAllowMarkers(p.lines, raw);
+  };
+
+  std::map<std::string, IncludeScan> scans;
+  for (const SourceFile& file : files) {
+    const Prepared& p = prepared.at(file.path);
+
+    std::vector<Finding> file_findings = LintSource(file.path, file.content);
+
+    DeclRuleOptions decl_options;
+    decl_options.status_functions = &status_functions;
+    std::vector<Finding> decl = fill_code_and_suppress(
+        p, CheckDeclRules(file.path, p.tokens, decl_options));
+    file_findings.insert(file_findings.end(), decl.begin(), decl.end());
+
+    std::stable_sort(file_findings.begin(), file_findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                       if (a.line != b.line) return a.line < b.line;
+                       return a.rule < b.rule;
+                     });
+    result.findings.insert(result.findings.end(), file_findings.begin(),
+                           file_findings.end());
+
+    IncludeScan scan = ScanIncludes(p.tokens);
+    for (const LexNote& n : scan.skipped) {
+      result.notes.push_back(file.path + ":" + std::to_string(n.line) + ": " +
+                             n.message);
+    }
+    scans.emplace(file.path, std::move(scan));
+  }
+
+  if (options.layers != nullptr) {
+    for (Finding& f : CheckIncludeGraph(scans, *options.layers)) {
+      const auto it = prepared.find(f.file);
+      std::vector<Finding> one =
+          it == prepared.end()
+              ? std::vector<Finding>{f}
+              : ApplyAllowMarkers(it->second.lines, {f});
+      result.findings.insert(result.findings.end(), one.begin(), one.end());
+    }
+  }
+
+  std::stable_sort(result.findings.begin(), result.findings.end(),
                    [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
                      if (a.line != b.line) return a.line < b.line;
                      return a.rule < b.rule;
                    });
-  return kept;
+  return result;
+}
+
+namespace {
+
+struct RuleDoc {
+  const char* name;
+  const char* rationale;
+};
+
+constexpr RuleDoc kRuleDocs[] = {
+    {"nondet-seed",
+     "All randomness flows through util/rng.h with an explicit seed. "
+     "std::random_device, rand()/srand(), drand48() and time()-derived "
+     "seeds make runs irreproducible, which breaks the byte-identity "
+     "pins every optimized path is proven against."},
+    {"library-print",
+     "The library reports through Status, never stdio; printing belongs "
+     "to src/eval/report and the tools. A library that prints cannot be "
+     "embedded in the serving stack without corrupting its protocol."},
+    {"raw-alloc",
+     "Ownership is expressed with containers and smart pointers; raw "
+     "new/delete/malloc bypass RAII and leak on early Status returns."},
+    {"unordered-container",
+     "Hash-order iteration is what broke bitwise reproducibility before "
+     "the flat sorted KDE table. std::unordered_* stays out of "
+     "src/density, src/core, src/shard and the shm transport files, "
+     "whose merge/frame paths must be order-invariant."},
+    {"serve-throw",
+     "The serving stack's error contract is Status codes on the wire; "
+     "an exception cannot cross a socket or an shm ring."},
+    {"header-guard",
+     "Every header opens with #ifndef or #pragma once."},
+    {"using-namespace-header",
+     "`using namespace` at header scope leaks into every includer."},
+    {"nodiscard-status",
+     "Every function returning Status or Result<T> is declared "
+     "[[nodiscard]] (the types themselves are nodiscard too, so the "
+     "compiler backs the rule). An ignorable error return is how a "
+     "failed Build() turns into a bitwise mismatch three layers later."},
+    {"unchecked-status",
+     "An expression statement that is exactly a call to a "
+     "Status/Result-returning function drops the error on the floor. "
+     "Assign it, return it, wrap it in DBS_RETURN_IF_ERROR, or "
+     "allow-annotate the call with the reason it cannot fail."},
+    {"fp-accum",
+     "The bitwise pins (batched KDE, sharded merge, QMC tiling) assume "
+     "left-to-right scalar accumulation. std::reduce, execution-policy "
+     "std::accumulate and range-for accumulation over unordered_* "
+     "containers all let the implementation reorder floating-point sums, "
+     "which is exactly the nondeterminism the paper's equivalence "
+     "contract forbids."},
+    {"clock-now",
+     "Wall-clock reads (std::chrono::*_clock::now, clock()) outside "
+     "bench/ and the audited timing code (eval/experiment.h Timer, "
+     "shm_transport deadlines) make library behavior time-dependent."},
+    {"relaxed-atomic",
+     "memory_order_relaxed is correct only where a written "
+     "happens-before argument exists; shm_ring.h and shm_transport.cc "
+     "carry that audit (DESIGN.md §13). Anywhere else, start from "
+     "seq_cst and argue down."},
+    {"detached-thread",
+     "Detached threads outlive shutdown ordering and escape TSan's "
+     "leak-at-exit checks; every thread in this codebase is owned and "
+     "joined (see FileScan and BatchExecutor)."},
+    {"mutex-comment",
+     "A mutex member must carry an adjacent comment naming what it "
+     "guards and its place in the lock order; unannotated mutexes are "
+     "how lock-order inversions get written."},
+    {"layer-violation",
+     "Include edges must respect the allowed-layers matrix in "
+     "tools/lint/layers.txt: util → data → {density, sampling} "
+     "→ {core, outlier} → {cluster, shard, serve, eval}. serve "
+     "appears in no library module's allow list, so the serving stack "
+     "can never be pulled under the library. Amend the matrix only with "
+     "a reviewed edge, never by inverting a layer."},
+    {"include-cycle",
+     "The include graph must stay a DAG; a cycle means two headers each "
+     "need the other and the layering has already been lost."},
+    {"frozen-include",
+     "Frozen oracle files (the do-not-improve reference implementations "
+     "every optimized path is pinned against) may include nothing new; "
+     "their include lists are pinned in tools/lint/layers.txt. An oracle "
+     "that gains dependencies stops being an oracle."},
+};
+
+}  // namespace
+
+const char* ExplainRule(const std::string& rule) {
+  for (const RuleDoc& doc : kRuleDocs) {
+    if (rule == doc.name) return doc.rationale;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> AllRules() {
+  std::vector<std::string> names;
+  for (const RuleDoc& doc : kRuleDocs) names.push_back(doc.name);
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 std::vector<std::string> ParseBaseline(const std::string& text) {

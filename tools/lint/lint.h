@@ -42,6 +42,17 @@
 // The scanner is deliberately textual: it runs in milliseconds with no
 // compile database, and every rule is a token pattern a reviewer can grep
 // for by hand to double-check a finding.
+//
+// Since PR 8 the line scanner is the first of three passes. A real lexer
+// (tools/lint/lexer.h) feeds two semantic passes that line scanning
+// cannot express: the include-graph layering pass (include_graph.h:
+// layer-violation, include-cycle, frozen-include) and the declaration/
+// statement pass (decl_rules.h: nodiscard-status, unchecked-status,
+// fp-accum, clock-now, relaxed-atomic, detached-thread, mutex-comment).
+// LintTree below runs all three over a whole file set; LintSource keeps
+// its original meaning — the per-file line rules — so existing callers
+// and the baseline format are unchanged. `ExplainRule` documents every
+// rule for the CLI's explain= flag.
 
 #ifndef DBS_TOOLS_LINT_LINT_H_
 #define DBS_TOOLS_LINT_LINT_H_
@@ -50,6 +61,8 @@
 #include <vector>
 
 namespace dbs::lint {
+
+struct LayerMatrix;  // include_graph.h
 
 struct Finding {
   std::string rule;
@@ -70,11 +83,47 @@ struct CodeLine {
 // numbering is preserved (a multi-line /* */ blanks every covered line).
 std::vector<CodeLine> StripComments(const std::string& content);
 
-// Runs every rule applicable to `path` over `content`. `path` must be
+// Runs every line rule applicable to `path` over `content`. `path` must be
 // repo-relative with '/' separators (rules dispatch on its prefix).
 // Findings suppressed by a `dbs-lint: allow(...)` marker are dropped here.
 std::vector<Finding> LintSource(const std::string& path,
                                 const std::string& content);
+
+// Drops findings whose line carries a `dbs-lint: allow(rule)` marker (on
+// the finding's line, or alone on the line above). Exposed so the token
+// passes share the line rules' suppression semantics.
+std::vector<Finding> ApplyAllowMarkers(const std::vector<CodeLine>& lines,
+                                       const std::vector<Finding>& findings);
+
+// One file handed to the tree-level passes.
+struct SourceFile {
+  std::string path;     // repo-relative, '/'-separated
+  std::string content;
+};
+
+struct TreeOptions {
+  // Layering matrix for the include-graph pass; the pass is skipped when
+  // null (unit tests drive it directly, the CLI always supplies one).
+  const LayerMatrix* layers = nullptr;
+};
+
+struct TreeResult {
+  std::vector<Finding> findings;  // sorted by (file, line, rule)
+  std::vector<std::string> notes; // informational: skipped includes, etc.
+};
+
+// Runs all three passes — line rules, decl/statement rules (with the
+// tree-wide Status-function set), and the include-graph pass — over the
+// whole file set. Allow-marker suppression applies to every pass.
+TreeResult LintTree(const std::vector<SourceFile>& files,
+                    const TreeOptions& options);
+
+// One-paragraph rationale for a rule name (the CLI's explain= flag), or
+// nullptr for unknown rules.
+const char* ExplainRule(const std::string& rule);
+
+// Every rule name the analyzer can emit, sorted.
+std::vector<std::string> AllRules();
 
 // Baseline entries are `rule|path|normalized code` lines; duplicates mean
 // multiplicity. '#' lines and blank lines are ignored.
