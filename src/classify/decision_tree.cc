@@ -131,6 +131,7 @@ Result<DecisionTree> DecisionTree::Train(const data::PointSet& points,
   tree.num_classes_ = max_label + 1;
   std::vector<int64_t> rows(static_cast<size_t>(n));
   std::iota(rows.begin(), rows.end(), int64_t{0});
+  // dbs-lint: allow(unchecked-status): returns a node id, not a Status
   tree.Build(points, labels, weights, rows, 0, options);
   return tree;
 }

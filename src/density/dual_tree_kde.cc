@@ -1,0 +1,517 @@
+#include "density/dual_tree_kde.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "density/kernel_block.h"
+
+namespace dbs::density {
+namespace {
+
+// Safety factor on the m·eps FP-reordering slack folded into each reported
+// certificate: the dual-tree summation order differs from the flat path's,
+// and the per-node interval endpoints are themselves rounded, so the pure
+// interval half-width alone could be violated by last-ulp effects. All
+// kernel terms are non-negative (condition number 1), so reordering a
+// length-m sum moves it by at most ~m·eps relative; 16x covers the interval
+// endpoint rounding and the final normalization multiply with real margin
+// while staying negligible against any practical rel_error budget.
+constexpr double kFpSlackFactor = 16.0;
+
+}  // namespace
+
+Result<DualTreeKde> DualTreeKde::Build(const Kde& kde,
+                                       const DualTreeKdeOptions& options) {
+  if (options.leaf_size < 1) {
+    return Status::InvalidArgument("leaf_size must be >= 1");
+  }
+  if (options.query_tile < 1) {
+    return Status::InvalidArgument("query_tile must be >= 1");
+  }
+  if (!std::isfinite(options.rel_error) || options.rel_error < 0) {
+    return Status::InvalidArgument("rel_error must be finite and >= 0");
+  }
+  Kde::State state = kde.ExportState();
+  if (state.centers.empty()) {
+    return Status::InvalidArgument("kde has no kernel centers");
+  }
+
+  DualTreeKde tree;
+  tree.n_ = state.n;
+  tree.kernel_ = state.kernel;
+  tree.centers_ = std::move(state.centers);
+  tree.bandwidths_ = std::move(state.bandwidths);
+  tree.bounds_ = std::move(state.bounds);
+  tree.leaf_size_ = options.leaf_size;
+  tree.query_tile_ = options.query_tile;
+  tree.rel_error_ = options.rel_error;
+
+  const int d = tree.centers_.dim();
+  const int64_t m = tree.centers_.size();
+  // Same arithmetic order as Kde::FromState, so norm_factor_ (and with it
+  // every density byte) matches the flat evaluator exactly.
+  tree.inv_bandwidths_.resize(static_cast<size_t>(d));
+  double inv_h_prod = 1.0;
+  for (int j = 0; j < d; ++j) {
+    tree.inv_bandwidths_[static_cast<size_t>(j)] =
+        1.0 / tree.bandwidths_[static_cast<size_t>(j)];
+    inv_h_prod *= tree.inv_bandwidths_[static_cast<size_t>(j)];
+  }
+  tree.norm_factor_ = static_cast<double>(tree.n_) /
+                      static_cast<double>(m) * inv_h_prod;
+  tree.support_radius_ = KernelSupportRadius(tree.kernel_);
+  tree.support_extent_.resize(static_cast<size_t>(d));
+  for (int j = 0; j < d; ++j) {
+    tree.support_extent_[static_cast<size_t>(j)] =
+        tree.support_radius_ * tree.bandwidths_[static_cast<size_t>(j)];
+  }
+
+  tree.centers_soa_.resize(static_cast<size_t>(d) * m);
+  const double* rows = tree.centers_.flat().data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int j = 0; j < d; ++j) {
+      tree.centers_soa_[static_cast<size_t>(j) * m + i] = rows[i * d + j];
+    }
+  }
+
+  tree.items_.resize(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    tree.items_[static_cast<size_t>(i)] = static_cast<int32_t>(i);
+  }
+  tree.leaf_soa_.resize(static_cast<size_t>(d) * m);
+  tree.nodes_.reserve(static_cast<size_t>(2 * (m / options.leaf_size + 1)));
+  tree.root_ = tree.BuildNode(0, static_cast<int32_t>(m));
+  return tree;
+}
+
+Result<DualTreeKde> DualTreeKde::Build(const Kde& kde,
+                                       const KdeOptions& fit_options) {
+  DualTreeKdeOptions options;
+  options.rel_error = fit_options.dual_tree_rel_error;
+  return Build(kde, options);
+}
+
+int32_t DualTreeKde::BuildNode(int32_t begin, int32_t end) {
+  const int d = centers_.dim();
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(id)].begin = begin;
+  nodes_[static_cast<size_t>(id)].end = end;
+  node_lo_.resize(static_cast<size_t>(id + 1) * d);
+  node_hi_.resize(static_cast<size_t>(id + 1) * d);
+
+  // Tight box over the member centers (exact min/max of the raw
+  // coordinates, so the distance bounds below are sound per dimension).
+  const double* flat = centers_.flat().data();
+  {
+    const double* first = flat + static_cast<int64_t>(items_[static_cast<size_t>(begin)]) * d;
+    for (int j = 0; j < d; ++j) {
+      node_lo_[static_cast<size_t>(id) * d + j] = first[j];
+      node_hi_[static_cast<size_t>(id) * d + j] = first[j];
+    }
+    for (int32_t t = begin + 1; t < end; ++t) {
+      const double* c = flat + static_cast<int64_t>(items_[static_cast<size_t>(t)]) * d;
+      for (int j = 0; j < d; ++j) {
+        double& lo = node_lo_[static_cast<size_t>(id) * d + j];
+        double& hi = node_hi_[static_cast<size_t>(id) * d + j];
+        if (c[j] < lo) lo = c[j];
+        if (c[j] > hi) hi = c[j];
+      }
+    }
+  }
+  int axis = -1;
+  double best_extent = 0.0;
+  for (int j = 0; j < d; ++j) {
+    const double extent = node_hi_[static_cast<size_t>(id) * d + j] -
+                          node_lo_[static_cast<size_t>(id) * d + j];
+    if (extent > best_extent) {
+      best_extent = extent;
+      axis = j;
+    }
+  }
+
+  // Leaf: below the size cap, or a degenerate box (all centers identical —
+  // no axis can split it). Leaf members are sorted ascending so the leaf
+  // summation order is deterministic, and packed into the SoA tile the
+  // approximate mode's block loop streams.
+  if (end - begin <= leaf_size_ || axis < 0) {
+    std::sort(items_.begin() + begin, items_.begin() + end);
+    const int64_t count = end - begin;
+    double* soa = leaf_soa_.data() + static_cast<size_t>(begin) * d;
+    for (int j = 0; j < d; ++j) {
+      for (int64_t t = 0; t < count; ++t) {
+        soa[static_cast<size_t>(j) * count + t] =
+            flat[static_cast<int64_t>(items_[static_cast<size_t>(begin + t)]) * d + j];
+      }
+    }
+    return id;
+  }
+
+  // Median split on the widest dimension. The comparator totally orders
+  // (coordinate, center index), so the PARTITION — and with it the tree
+  // shape, every node box, and the frozen-golden approximate traversal —
+  // is deterministic across standard-library implementations.
+  const int32_t mid = begin + (end - begin) / 2;
+  std::nth_element(items_.begin() + begin, items_.begin() + mid,
+                   items_.begin() + end,
+                   [flat, d, axis](int32_t a, int32_t b) {
+                     const double ca = flat[static_cast<int64_t>(a) * d + axis];
+                     const double cb = flat[static_cast<int64_t>(b) * d + axis];
+                     if (ca != cb) return ca < cb;
+                     return a < b;
+                   });
+  const int32_t left = BuildNode(begin, mid);
+  const int32_t right = BuildNode(mid, end);
+  nodes_[static_cast<size_t>(id)].left = left;
+  nodes_[static_cast<size_t>(id)].right = right;
+  return id;
+}
+
+DualTreeKde::NodeView DualTreeKde::node(int32_t id) const {
+  const Node& n = nodes_[static_cast<size_t>(id)];
+  NodeView view;
+  view.is_leaf = n.left < 0;
+  view.left = n.left;
+  view.right = n.right;
+  view.begin = n.begin;
+  view.end = n.end;
+  view.lo = node_lo_.data() + static_cast<size_t>(id) * centers_.dim();
+  view.hi = node_hi_.data() + static_cast<size_t>(id) * centers_.dim();
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Exact mode.
+//
+// Pruning is expressed in the SAME arithmetic the kernel loop applies to an
+// individual center: a dimension prunes the node only when the kernel of
+// the scaled minimum box distance is exactly zero. Rounding is monotone, so
+// every member center's computed |u_j| is >= the scaled gap and its
+// computed kernel factor is <= KernelValue(gap * inv_h) == 0 — i.e. a
+// pruned subtree contributes exactly +0.0 terms, which the block loop
+// skips invisibly. Summing the gathered survivors in ascending center
+// order therefore reproduces Kde's ascending-center sum bit for bit.
+
+void DualTreeKde::CollectSurvivors(int32_t id, const double* lo,
+                                   const double* hi,
+                                   std::vector<int32_t>* out) const {
+  const Node& node = nodes_[static_cast<size_t>(id)];
+  const int d = centers_.dim();
+  const double* nlo = node_lo_.data() + static_cast<size_t>(id) * d;
+  const double* nhi = node_hi_.data() + static_cast<size_t>(id) * d;
+  for (int j = 0; j < d; ++j) {
+    const double below = nlo[j] - hi[j];
+    const double above = lo[j] - nhi[j];
+    const double gap = below > above ? below : above;
+    if (gap > 0.0 &&
+        KernelValue(kernel_, gap * inv_bandwidths_[static_cast<size_t>(j)]) ==
+            0.0) {
+      return;
+    }
+  }
+  if (node.left < 0) {
+    out->insert(out->end(), items_.begin() + node.begin,
+                items_.begin() + node.end);
+    return;
+  }
+  CollectSurvivors(node.left, lo, hi, out);
+  CollectSurvivors(node.right, lo, hi, out);
+}
+
+struct DualTreeKde::TileScratch {
+  std::vector<int32_t> survivors;  // ascending center indices after sort
+  std::vector<double> soa;         // dim arrays of length survivors.size()
+  std::vector<double> lo;          // current tile box
+  std::vector<double> hi;
+};
+
+void DualTreeKde::ExactTile(const double* rows, const double* selves,
+                            const int64_t* idx, int64_t count, double* out,
+                            TileScratch* scratch) const {
+  const int d = centers_.dim();
+  scratch->survivors.clear();
+  CollectSurvivors(root_, scratch->lo.data(), scratch->hi.data(),
+                   &scratch->survivors);
+  // Ascending center order: the summation-order contract shared with the
+  // flat path (see kernel_block.h).
+  std::sort(scratch->survivors.begin(), scratch->survivors.end());
+  const int64_t tile = static_cast<int64_t>(scratch->survivors.size());
+  scratch->soa.resize(static_cast<size_t>(d) * tile);
+  const int64_t m = centers_.size();
+  for (int j = 0; j < d; ++j) {
+    double* col = scratch->soa.data() + static_cast<size_t>(j) * tile;
+    const double* src = centers_soa_.data() + static_cast<size_t>(j) * m;
+    for (int64_t t = 0; t < tile; ++t) {
+      col[t] = src[scratch->survivors[static_cast<size_t>(t)]];
+    }
+  }
+  for (int64_t k = 0; k < count; ++k) {
+    const int64_t i = idx[k];
+    const double* p = rows + i * d;
+    const double sum = SumKernelProductTile(
+        kernel_, d, p, inv_bandwidths_.data(), scratch->soa.data(), tile,
+        selves != nullptr ? selves + i * d : nullptr);
+    out[i] = norm_factor_ * sum;
+  }
+}
+
+void DualTreeKde::ExactTileRecurse(const double* rows, const double* selves,
+                                   int64_t* idx, int64_t count, double* out,
+                                   TileScratch* scratch) const {
+  const int d = centers_.dim();
+  double* lo = scratch->lo.data();
+  double* hi = scratch->hi.data();
+  const double* first = rows + idx[0] * d;
+  for (int j = 0; j < d; ++j) {
+    lo[j] = first[j];
+    hi[j] = first[j];
+  }
+  for (int64_t k = 1; k < count; ++k) {
+    const double* p = rows + idx[k] * d;
+    for (int j = 0; j < d; ++j) {
+      if (p[j] < lo[j]) lo[j] = p[j];
+      if (p[j] > hi[j]) hi[j] = p[j];
+    }
+  }
+  if (count > query_tile_) {
+    int axis = -1;
+    double best_extent = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double extent = hi[j] - lo[j];
+      if (extent > best_extent) {
+        best_extent = extent;
+        axis = j;
+      }
+    }
+    // axis < 0 means every query in the range is identical — recursing
+    // cannot shrink the box, so fall through and evaluate as one tile.
+    if (axis >= 0) {
+      const int64_t mid = count / 2;
+      std::nth_element(idx, idx + mid, idx + count,
+                       [rows, d, axis](int64_t a, int64_t b) {
+                         const double qa = rows[a * d + axis];
+                         const double qb = rows[b * d + axis];
+                         if (qa != qb) return qa < qb;
+                         return a < b;
+                       });
+      ExactTileRecurse(rows, selves, idx, mid, out, scratch);
+      ExactTileRecurse(rows, selves, idx + mid, count - mid, out, scratch);
+      return;
+    }
+  }
+  ExactTile(rows, selves, idx, count, out, scratch);
+}
+
+void DualTreeKde::ExactRange(const double* rows, const double* selves,
+                             int64_t begin, int64_t end, double* out) const {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = begin + i;
+  TileScratch scratch;
+  scratch.lo.resize(static_cast<size_t>(centers_.dim()));
+  scratch.hi.resize(static_cast<size_t>(centers_.dim()));
+  ExactTileRecurse(rows, selves, idx.data(), n, out, &scratch);
+}
+
+// ---------------------------------------------------------------------------
+// Certified-approximate mode (DESIGN.md §15).
+
+struct DualTreeKde::ApproxAccum {
+  double sum = 0.0;    // accepted midpoints + exact leaf sums
+  double gap = 0.0;    // accumulated interval widths (upper - lower)
+  double lower = 0.0;  // monotone running lower bound on the final sum
+};
+
+void DualTreeKde::ApproxNode(int32_t id, const double* p,
+                             const double* exclude,
+                             ApproxAccum* accum) const {
+  const Node& node = nodes_[static_cast<size_t>(id)];
+  const int d = centers_.dim();
+  const double* lo = node_lo_.data() + static_cast<size_t>(id) * d;
+  const double* hi = node_hi_.data() + static_cast<size_t>(id) * d;
+
+  // Per-dimension kernel bounds over the node box: every member center's
+  // |u_j| lies in [dlo, dhi] scaled, and every kernel here is non-
+  // increasing in |u| — so its factor lies in [K(dhi/h), K(dlo/h)].
+  // Rounding is monotone, so the computed interval still brackets every
+  // computed factor.
+  double kmin_prod = 1.0;
+  double kmax_prod = 1.0;
+  for (int j = 0; j < d; ++j) {
+    const double below = lo[j] - p[j];
+    const double above = p[j] - hi[j];
+    double dlo = below > above ? below : above;
+    if (dlo < 0.0) dlo = 0.0;
+    const double span_lo = p[j] - lo[j];
+    const double span_hi = hi[j] - p[j];
+    const double dhi = span_lo > span_hi ? span_lo : span_hi;
+    const double ih = inv_bandwidths_[static_cast<size_t>(j)];
+    kmax_prod *= KernelValue(kernel_, dlo * ih);
+    kmin_prod *= KernelValue(kernel_, dhi * ih);
+  }
+  const double count = static_cast<double>(node.end - node.begin);
+  const double upper = count * kmax_prod;
+  if (upper == 0.0) return;  // exact prune: every member factor is +0.0
+  const double lower = count * kmin_prod;
+
+  // A node whose box contains the exclusion point may hold the excluded
+  // center, which the interval does not account for — force descent so the
+  // exclusion is applied in a leaf's exact block loop.
+  bool may_hold_exclude = false;
+  if (exclude != nullptr) {
+    may_hold_exclude = true;
+    for (int j = 0; j < d; ++j) {
+      if (exclude[j] < lo[j] || exclude[j] > hi[j]) {
+        may_hold_exclude = false;
+        break;
+      }
+    }
+  }
+  if (!may_hold_exclude) {
+    // Error-budget allocation proportional to the node's center share:
+    // accepted gaps sum to at most rel_error * final_lower <=
+    // rel_error * exact, so the midpoint certificate (half the gap sum)
+    // spends at most half the budget (see DESIGN.md §15 for the proof).
+    const double gap = upper - lower;
+    if (gap <= rel_error_ * accum->lower *
+                   (count / static_cast<double>(centers_.size()))) {
+      accum->sum += 0.5 * (lower + upper);
+      accum->gap += gap;
+      accum->lower += lower;
+      return;
+    }
+  }
+  if (node.left < 0) {
+    const int64_t tile = node.end - node.begin;
+    const double* soa = leaf_soa_.data() + static_cast<size_t>(node.begin) * d;
+    const double sum = SumKernelProductTile(
+        kernel_, d, p, inv_bandwidths_.data(), soa, tile, exclude);
+    accum->sum += sum;
+    accum->lower += sum;
+    return;
+  }
+  // Descend the nearer child first (scaled min box distance) so the running
+  // lower bound grows early and far nodes become acceptable sooner. Ties
+  // resolve to the left child — deterministic, like everything else here.
+  double child_d2[2] = {0.0, 0.0};
+  const int32_t children[2] = {node.left, node.right};
+  for (int c = 0; c < 2; ++c) {
+    const double* clo = node_lo_.data() + static_cast<size_t>(children[c]) * d;
+    const double* chi = node_hi_.data() + static_cast<size_t>(children[c]) * d;
+    for (int j = 0; j < d; ++j) {
+      const double below = clo[j] - p[j];
+      const double above = p[j] - chi[j];
+      double gap = below > above ? below : above;
+      if (gap < 0.0) gap = 0.0;
+      const double u = gap * inv_bandwidths_[static_cast<size_t>(j)];
+      child_d2[c] += u * u;
+    }
+  }
+  if (child_d2[0] <= child_d2[1]) {
+    ApproxNode(node.left, p, exclude, accum);
+    ApproxNode(node.right, p, exclude, accum);
+  } else {
+    ApproxNode(node.right, p, exclude, accum);
+    ApproxNode(node.left, p, exclude, accum);
+  }
+}
+
+void DualTreeKde::ApproxRange(const double* rows, const double* selves,
+                              int64_t begin, int64_t end, double* out,
+                              double* bound) const {
+  const int d = centers_.dim();
+  const double fp_slack = kFpSlackFactor *
+                          std::numeric_limits<double>::epsilon() *
+                          static_cast<double>(centers_.size());
+  for (int64_t i = begin; i < end; ++i) {
+    const double* p = rows + i * d;
+    const double* exclude = selves != nullptr ? selves + i * d : nullptr;
+    ApproxAccum accum;
+    ApproxNode(root_, p, exclude, &accum);
+    out[i] = norm_factor_ * accum.sum;
+    if (bound != nullptr) {
+      bound[i] = norm_factor_ * (0.5 * accum.gap + fp_slack * accum.sum);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DensityEstimator surface.
+
+Status DualTreeKde::BatchWithBound(const double* rows, const double* selves,
+                                   int64_t count, double* out, double* bound,
+                                   parallel::BatchExecutor* executor) const {
+  if (count <= 0) return Status::Ok();
+  auto shard = [&](int64_t begin, int64_t end) {
+    if (rel_error_ > 0.0) {
+      ApproxRange(rows, selves, begin, end, out, bound);
+    } else {
+      ExactRange(rows, selves, begin, end, out);
+      if (bound != nullptr) std::fill(bound + begin, bound + end, 0.0);
+    }
+  };
+  if (executor != nullptr) return executor->ParallelFor(count, shard);
+  shard(0, count);
+  return Status::Ok();
+}
+
+Status DualTreeKde::EvaluateBatch(const double* rows, int64_t count,
+                                  double* out,
+                                  parallel::BatchExecutor* executor) const {
+  return BatchWithBound(rows, /*selves=*/nullptr, count, out,
+                        /*bound=*/nullptr, executor);
+}
+
+Status DualTreeKde::EvaluateExcludingBatch(
+    const double* rows, int64_t count, double* out,
+    parallel::BatchExecutor* executor) const {
+  return BatchWithBound(rows, /*selves=*/rows, count, out, /*bound=*/nullptr,
+                        executor);
+}
+
+Status DualTreeKde::EvaluateExcludingSelvesBatch(
+    const double* rows, const double* selves, int64_t count, double* out,
+    parallel::BatchExecutor* executor) const {
+  return BatchWithBound(rows, selves, count, out, /*bound=*/nullptr,
+                        executor);
+}
+
+Status DualTreeKde::EvaluateBatchWithBound(
+    const double* rows, int64_t count, double* out, double* bound,
+    parallel::BatchExecutor* executor) const {
+  return BatchWithBound(rows, /*selves=*/nullptr, count, out, bound,
+                        executor);
+}
+
+Status DualTreeKde::EvaluateExcludingSelvesBatchWithBound(
+    const double* rows, const double* selves, int64_t count, double* out,
+    double* bound, parallel::BatchExecutor* executor) const {
+  return BatchWithBound(rows, selves, count, out, bound, executor);
+}
+
+double DualTreeKde::Evaluate(data::PointView p) const {
+  double out = 0.0;
+  // Without an executor the batch path cannot fail.
+  (void)BatchWithBound(p.data(), /*selves=*/nullptr, 1, &out,
+                       /*bound=*/nullptr, /*executor=*/nullptr);
+  return out;
+}
+
+double DualTreeKde::EvaluateExcluding(data::PointView x,
+                                      data::PointView self) const {
+  double out = 0.0;
+  (void)BatchWithBound(x.data(), self.data(), 1, &out, /*bound=*/nullptr,
+                       /*executor=*/nullptr);
+  return out;
+}
+
+double DualTreeKde::AverageDensity() const {
+  const double volume = bounds_.Volume();
+  if (volume <= 0) return 0.0;
+  return static_cast<double>(n_) / volume;
+}
+
+}  // namespace dbs::density

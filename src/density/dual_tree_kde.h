@@ -1,0 +1,224 @@
+// Dual-tree KDE evaluation with certified error bounds (DESIGN.md §15).
+//
+// The flat-grid batch kernel (density/kde.h) wins when the 3^d-cell
+// neighborhood around a query holds few centers; once bandwidths grow or
+// kernel counts reach the 10k–1M regime, every neighborhood degenerates
+// toward "all m centers" and evaluation is O(n·m) again. This evaluator
+// builds a kd-tree OVER THE KERNEL CENTERS (median split on the widest
+// dimension, SoA-tiled leaves, tight per-node bounding boxes) and prunes
+// whole subtrees by node-box-to-query distance bounds, in the spirit of the
+// bbrcit KernelDensity kd-tree + Epanechnikov design — `O((n+m) log m)`-ish
+// for clustered data instead of O(n·m).
+//
+// Two modes, selected by DualTreeKdeOptions.rel_error:
+//
+//   * EXACT (rel_error == 0). Queries are grouped into spatial tiles; for
+//     each tile the tree is descended once, pruning every node whose box is
+//     farther than the kernel support from the tile's box — an EXACT prune,
+//     since each such center's product kernel is +0.0 by compact support.
+//     The surviving centers are gathered in ASCENDING CENTER ORDER into an
+//     SoA tile and summed through the frozen per-pair block loop
+//     (density/kernel_block.h). Because zero terms are bitwise-invisible in
+//     that loop, the result is bitwise identical to Kde::EvaluateBatch's
+//     ascending-center summation — the index-off path and the scalar
+//     EvaluateBrute. (The grid-indexed path visits buckets in hash order
+//     and so agrees with all of these only to rounding; the equivalence
+//     tests pin the dual tree to the ascending-order contract.)
+//
+//   * CERTIFIED-APPROXIMATE (rel_error > 0, gated upstream by
+//     KdeOptions.dual_tree_rel_error). Per query, the traversal keeps for
+//     each node an interval [l, u] containing its true contribution
+//     (per-dimension kernel bounds from the node box, times the node's
+//     center count). A node is answered by its midpoint (l+u)/2 once
+//     u - l <= rel_error * lower_running * (count / m), where
+//     lower_running is the monotone running lower bound on the final sum;
+//     otherwise it is split, and leaves are summed exactly. Summing the
+//     per-node allocations gives the certificate returned alongside each
+//     density:
+//
+//         |approx_i - exact_i| <= bound_i <= rel_error * exact_i
+//
+//     where exact_i is the exact density at query i (the allocation rule
+//     spends at most rel_error/2 of the final lower bound, and the reported
+//     bound adds an m·eps FP-reordering slack, so the right inequality
+//     holds with real margin whenever rel_error >> m·machine-eps — i.e.
+//     any practical budget >= 1e-9). tests/density_dual_tree_budget_test
+//     enforces both inequalities property-style.
+//
+// The evaluator is the third DensityEstimator backend (after the scalar
+// default and the Kde grid/batch override): it overrides EvaluateBatch /
+// EvaluateExcludingBatch / EvaluateExcludingSelvesBatch with optional
+// parallel::BatchExecutor sharding over query tiles, so the serve dispatch
+// path (ModelRegistry::LoadKdeFileDualTree) and the samplers consume it
+// through the same virtual interface as every other estimator.
+
+#ifndef DBS_DENSITY_DUAL_TREE_KDE_H_
+#define DBS_DENSITY_DUAL_TREE_KDE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/bounds.h"
+#include "data/point_set.h"
+#include "density/density_estimator.h"
+#include "density/kde.h"
+#include "density/kernel.h"
+#include "util/status.h"
+
+namespace dbs::density {
+
+struct DualTreeKdeOptions {
+  // Maximum centers per leaf. 1 gives one point per leaf (tested); larger
+  // leaves trade pruning resolution for block-loop throughput.
+  int leaf_size = 32;
+  // Batch evaluation groups queries into spatial tiles of at most this many
+  // points; each tile pays for one tree descent and one gather. Grouping is
+  // bitwise invisible (per-query results are independent).
+  int64_t query_tile = 32;
+  // Certified relative error budget; 0 = exact mode. See header comment.
+  double rel_error = 0.0;
+};
+
+class DualTreeKde final : public DensityEstimator {
+ public:
+  // Builds the evaluator over `kde`'s kernel centers. The model state
+  // (centers, bandwidths, normalization) is snapshotted, so the Kde need
+  // not outlive the result.
+  [[nodiscard]] static Result<DualTreeKde> Build(
+      const Kde& kde, const DualTreeKdeOptions& options = {});
+
+  // Convenience: picks up the approximate-mode gate from the fit options
+  // (KdeOptions.dual_tree_rel_error), defaults for the rest.
+  [[nodiscard]] static Result<DualTreeKde> Build(const Kde& kde,
+                                                 const KdeOptions& fit_options);
+
+  int dim() const override { return centers_.dim(); }
+  int64_t total_mass() const override { return n_; }
+  double AverageDensity() const override;
+
+  // In approximate mode these return the certified midpoint estimate; in
+  // exact mode they are bitwise identical to the ascending-center Kde
+  // paths (see header comment).
+  double Evaluate(data::PointView p) const override;
+  double EvaluateExcluding(data::PointView x,
+                           data::PointView self) const override;
+  [[nodiscard]] Status EvaluateBatch(const double* rows, int64_t count, double* out,
+                       parallel::BatchExecutor* executor =
+                           nullptr) const override;
+  [[nodiscard]] Status EvaluateExcludingBatch(const double* rows, int64_t count,
+                                double* out,
+                                parallel::BatchExecutor* executor =
+                                    nullptr) const override;
+  [[nodiscard]] Status EvaluateExcludingSelvesBatch(const double* rows,
+                                      const double* selves, int64_t count,
+                                      double* out,
+                                      parallel::BatchExecutor* executor =
+                                          nullptr) const override;
+
+  // Certified evaluation: out[i] is the density estimate and bound[i] the
+  // per-query certificate |out[i] - exact_i| <= bound[i] (see header
+  // comment; additionally bound[i] <= rel_error * exact_i in approximate
+  // mode). Exact mode writes bound[i] = 0 exactly. `bound` may be nullptr
+  // to discard the certificates; executor shards over query tiles with the
+  // usual backpressure contract, and sharding never changes any byte.
+  [[nodiscard]] Status EvaluateBatchWithBound(const double* rows, int64_t count,
+                                double* out, double* bound,
+                                parallel::BatchExecutor* executor =
+                                    nullptr) const;
+  [[nodiscard]] Status EvaluateExcludingSelvesBatchWithBound(
+      const double* rows, const double* selves, int64_t count, double* out,
+      double* bound, parallel::BatchExecutor* executor = nullptr) const;
+
+  double rel_error() const { return rel_error_; }
+  int64_t num_kernels() const { return centers_.size(); }
+  const data::BoundingBox& bounds() const { return bounds_; }
+
+  // --- Test-only introspection -------------------------------------------
+  // Structural view of the tree for invariant checks
+  // (tests/density_property_test.cc): leaves partition the permutation
+  // `leaf_items()` into ascending-index runs, and every node's box must
+  // contain its subtree's centers. Not part of the evaluation API.
+  struct NodeView {
+    bool is_leaf = false;
+    int32_t left = -1;    // node ids; -1 on leaves
+    int32_t right = -1;
+    int32_t begin = 0;    // range into leaf_items()
+    int32_t end = 0;
+    const double* lo = nullptr;  // dim() entries each
+    const double* hi = nullptr;
+  };
+  int32_t num_nodes() const { return static_cast<int32_t>(nodes_.size()); }
+  int32_t root() const { return root_; }
+  NodeView node(int32_t id) const;
+  const std::vector<int32_t>& leaf_items() const { return items_; }
+  const data::PointSet& centers() const { return centers_; }
+
+ private:
+  struct Node {
+    int32_t left = -1;   // -1 marks a leaf
+    int32_t right = -1;
+    int32_t begin = 0;   // range into items_
+    int32_t end = 0;
+  };
+
+  struct TileScratch;
+  struct ApproxAccum;
+
+  DualTreeKde() = default;
+
+  int32_t BuildNode(int32_t begin, int32_t end);
+  // Appends the original indices of every center in a node whose box is
+  // within kernel support of the [lo, hi] query box (exact prune).
+  void CollectSurvivors(int32_t node, const double* lo, const double* hi,
+                        std::vector<int32_t>* out) const;
+  // Exact mode: recursive spatial tiling of the query range, one descent +
+  // gather per tile.
+  void ExactTileRecurse(const double* rows, const double* selves,
+                        int64_t* idx, int64_t count, double* out,
+                        TileScratch* scratch) const;
+  void ExactTile(const double* rows, const double* selves, const int64_t* idx,
+                 int64_t count, double* out, TileScratch* scratch) const;
+  void ExactRange(const double* rows, const double* selves, int64_t begin,
+                  int64_t end, double* out) const;
+  // Approximate mode: per-query descent accumulating interval midpoints.
+  void ApproxNode(int32_t node, const double* p, const double* exclude,
+                  ApproxAccum* accum) const;
+  void ApproxRange(const double* rows, const double* selves, int64_t begin,
+                   int64_t end, double* out, double* bound) const;
+  [[nodiscard]] Status BatchWithBound(const double* rows, const double* selves,
+                        int64_t count, double* out, double* bound,
+                        parallel::BatchExecutor* executor) const;
+
+  int64_t n_ = 0;
+  KernelType kernel_ = KernelType::kEpanechnikov;
+  data::PointSet centers_;              // original fit order
+  std::vector<double> bandwidths_;      // per dimension
+  std::vector<double> inv_bandwidths_;  // 1/h_j
+  std::vector<double> support_extent_;  // support_radius * h_j
+  double norm_factor_ = 0.0;            // (n/m) * prod_j (1/h_j)
+  double support_radius_ = 1.0;
+  data::BoundingBox bounds_;
+  int leaf_size_ = 32;
+  int64_t query_tile_ = 32;
+  double rel_error_ = 0.0;
+
+  // centers_ transposed (dim arrays of length m, original index order):
+  // the gather source for exact-mode survivor tiles.
+  std::vector<double> centers_soa_;
+
+  // kd-tree over the centers. items_ is a permutation of [0, m) whose leaf
+  // ranges are each sorted ascending — the deterministic leaf summation
+  // order. Node boxes are tight (computed from the member centers) and live
+  // in node_lo_/node_hi_ at node_id * dim. Leaf SoA tiles pack each leaf's
+  // centers column-major at items-offset begin * dim in leaf_soa_.
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  std::vector<double> node_lo_;
+  std::vector<double> node_hi_;
+  std::vector<int32_t> items_;
+  std::vector<double> leaf_soa_;
+};
+
+}  // namespace dbs::density
+
+#endif  // DBS_DENSITY_DUAL_TREE_KDE_H_

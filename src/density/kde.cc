@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "density/kde_partial.h"
+#include "density/kernel_block.h"
 
 namespace dbs::density {
 namespace {
@@ -27,10 +28,6 @@ uint64_t HashCell(const int64_t* cell, int dim) {
 // Above this dimensionality the 3^d neighbor enumeration stops paying for
 // itself; evaluation falls back to the brute-force sum.
 constexpr int kMaxIndexDim = 6;
-
-// Tile block width for the batch inner loop: long enough to vectorize,
-// small enough that the product buffer stays in L1.
-constexpr int64_t kTileBlock = 256;
 
 }  // namespace
 
@@ -316,65 +313,10 @@ int64_t Kde::GatherTile(const int64_t* base_cell, TileScratch* scratch)
 
 double Kde::SumTile(const double* p, const double* soa, int64_t tile,
                     const double* exclude) const {
-  const int d = dim();
-  double prod[kTileBlock];
-  double sum = 0.0;
-  for (int64_t b0 = 0; b0 < tile; b0 += kTileBlock) {
-    const int64_t block = std::min(kTileBlock, tile - b0);
-    for (int64_t t = 0; t < block; ++t) prod[t] = 1.0;
-    if (kernel_ == KernelType::kEpanechnikov) {
-      // Inlined Epanechnikov: identical arithmetic to KernelValue, minus
-      // the per-factor call; branch-free so the loop vectorizes.
-      for (int j = 0; j < d; ++j) {
-        const double pj = p[j];
-        const double ih = inv_bandwidths_[j];
-        const double* col = soa + static_cast<size_t>(j) * tile + b0;
-        for (int64_t t = 0; t < block; ++t) {
-          const double u = (pj - col[t]) * ih;
-          const double a = 1.0 - u * u;
-          prod[t] *= a > 0 ? 0.75 * a : 0.0;
-        }
-      }
-    } else {
-      for (int j = 0; j < d; ++j) {
-        const double pj = p[j];
-        const double ih = inv_bandwidths_[j];
-        const double* col = soa + static_cast<size_t>(j) * tile + b0;
-        for (int64_t t = 0; t < block; ++t) {
-          prod[t] *= KernelValue(kernel_, (pj - col[t]) * ih);
-        }
-      }
-    }
-    if (exclude == nullptr) {
-      // The sequential accumulator is the one serial FP dependency chain
-      // here, and in a 3^d neighborhood most gathered centers fall outside
-      // the support box (prod == +0.0). Compact the nonzero products —
-      // branchless and order-preserving — so the serial chain only runs
-      // over terms that matter. Skipping +0.0 additions is bitwise
-      // invisible: adding +0.0 to a non-negative accumulator is identity.
-      int64_t nz = 0;
-      for (int64_t t = 0; t < block; ++t) {
-        prod[nz] = prod[t];
-        nz += prod[t] != 0.0 ? 1 : 0;
-      }
-      for (int64_t t = 0; t < nz; ++t) sum += prod[t];
-    } else {
-      for (int64_t t = 0; t < block; ++t) {
-        if (prod[t] != 0.0) {
-          bool matches = true;
-          for (int j = 0; j < d; ++j) {
-            if (soa[static_cast<size_t>(j) * tile + b0 + t] != exclude[j]) {
-              matches = false;
-              break;
-            }
-          }
-          if (matches) continue;
-        }
-        sum += prod[t];
-      }
-    }
-  }
-  return sum;
+  // The arithmetic lives in density/kernel_block.h so the dual-tree
+  // evaluator provably shares the frozen per-pair order (DESIGN.md §15).
+  return SumKernelProductTile(kernel_, dim(), p, inv_bandwidths_.data(), soa,
+                              tile, exclude);
 }
 
 void Kde::BatchRangeIndexed(const double* rows, const double* selves,

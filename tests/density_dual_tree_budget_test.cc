@@ -1,0 +1,227 @@
+// Property harness for the dual-tree evaluator's CERTIFIED-APPROXIMATE
+// mode (density/dual_tree_kde.h, DESIGN.md §15).
+//
+// The contract: for every query, with exact_i the ascending-center exact
+// density (the Kde brute batch path),
+//
+//   |approx_i - exact_i| <= bound_i <= rel_error * exact_i
+//
+// and bound_i == 0 with approx_i == 0 whenever exact_i == 0. This is
+// checked property-style across 200 seeded random configurations (dim,
+// kernel count, leaf size, rel_error spanning 1e-3..0.25, mixed query
+// shapes), for both the plain and the excluding-selves entry points — the
+// exclusion forces descent through containing nodes, so certificates must
+// survive it. Sharding must be bitwise invisible as usual, and one pinned
+// configuration is frozen as an FNV-1a golden so the approximate
+// traversal's every byte (densities AND certificates) is pinned against
+// accidental drift.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/point_set.h"
+#include "density/dual_tree_kde.h"
+#include "density/kde.h"
+#include "parallel/batch_executor.h"
+#include "synth/generator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dbs::density {
+namespace {
+
+uint64_t Fnv1a(const double* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n * sizeof(double); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+data::PointSet MakeData(int dim, int64_t points, uint64_t seed) {
+  synth::ClusteredDatasetOptions opts;
+  opts.dim = dim;
+  opts.num_clusters = 4;
+  opts.num_cluster_points = points;  // total across clusters, noise on top
+  opts.noise_multiplier = 0.2;
+  opts.shuffle = true;
+  opts.seed = seed;
+  auto ds = synth::MakeClusteredDataset(opts);
+  DBS_CHECK(ds.ok());
+  return std::move(ds)->points;
+}
+
+// Mixed query shapes: centers themselves, near-misses, box points, and a
+// far-outside point per batch (the exact-zero case).
+data::PointSet MakeQueries(const data::PointSet& data, int64_t count,
+                           uint64_t seed) {
+  data::PointSet queries(data.dim());
+  Rng rng(seed);
+  for (int64_t i = 0; i < count; ++i) {
+    std::vector<double> q(static_cast<size_t>(data.dim()));
+    data::PointView base = data[i % data.size()];
+    switch (i % 4) {
+      case 0:
+        for (int j = 0; j < data.dim(); ++j) q[j] = base[j];
+        break;
+      case 1:
+        for (int j = 0; j < data.dim(); ++j) {
+          q[j] = base[j] + 0.05 * (rng.NextDouble() - 0.5);
+        }
+        break;
+      case 2:
+        for (int j = 0; j < data.dim(); ++j) q[j] = rng.NextDouble();
+        break;
+      default:
+        for (int j = 0; j < data.dim(); ++j) q[j] = 25.0 + rng.NextDouble();
+        break;
+    }
+    queries.Append(data::PointView(q.data(), data.dim()));
+  }
+  return queries;
+}
+
+// Asserts the certificate chain for one batch: measured error within the
+// reported bound, bound within the relative budget, exact zeros certified
+// as exact zeros.
+void CheckCertificates(const std::vector<double>& approx,
+                       const std::vector<double>& bound,
+                       const std::vector<double>& exact, double rel_error) {
+  ASSERT_EQ(approx.size(), exact.size());
+  ASSERT_EQ(bound.size(), exact.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    const double observed = std::fabs(approx[i] - exact[i]);
+    ASSERT_LE(observed, bound[i]) << "query " << i << ": approx " << approx[i]
+                                  << " exact " << exact[i];
+    ASSERT_LE(bound[i], rel_error * exact[i])
+        << "query " << i << ": exact " << exact[i];
+    if (exact[i] == 0.0) {
+      ASSERT_EQ(approx[i], 0.0) << i;
+      ASSERT_EQ(bound[i], 0.0) << i;
+    }
+  }
+}
+
+TEST(DualTreeBudgetTest, CertifiedBoundHoldsAcross200RandomConfigs) {
+  Rng rng(4242);
+  for (int config = 0; config < 200; ++config) {
+    const int dim = 1 + static_cast<int>(rng.NextDouble() * 4.0);
+    const int64_t kernels = 32 + static_cast<int64_t>(rng.NextDouble() * 224);
+    const int leaf_size = 1 + static_cast<int>(rng.NextDouble() * 48.0);
+    // Log-uniform budget over 1e-3 .. 0.25.
+    const double rel_error = 1e-3 * std::pow(250.0, rng.NextDouble());
+    const int64_t points = 800 + static_cast<int64_t>(rng.NextDouble() * 700);
+
+    data::PointSet data = MakeData(dim, points, 1000 + config);
+    data::PointSet queries = MakeQueries(data, 60, 5000 + config);
+    const int64_t n = queries.size();
+    const double* rows = queries.flat().data();
+
+    KdeOptions opts;
+    opts.num_kernels = kernels;
+    opts.use_grid_index = false;
+    opts.seed = 77 + config;
+    auto kde = Kde::Fit(data, opts);
+    ASSERT_TRUE(kde.ok());
+
+    DualTreeKdeOptions tree_opts;
+    tree_opts.leaf_size = leaf_size;
+    tree_opts.rel_error = rel_error;
+    auto tree = DualTreeKde::Build(*kde, tree_opts);
+    ASSERT_TRUE(tree.ok());
+
+    // Plain evaluation.
+    std::vector<double> exact(static_cast<size_t>(n));
+    ASSERT_TRUE(kde->EvaluateBatch(rows, n, exact.data()).ok());
+    std::vector<double> approx(static_cast<size_t>(n));
+    std::vector<double> bound(static_cast<size_t>(n));
+    ASSERT_TRUE(
+        tree->EvaluateBatchWithBound(rows, n, approx.data(), bound.data())
+            .ok());
+    CheckCertificates(approx, bound, exact, rel_error);
+
+    // Excluding-selves evaluation: each query excludes the next one (so
+    // some selves are real centers, some are not).
+    data::PointSet selves(queries.dim());
+    for (int64_t i = 0; i < n; ++i) selves.Append(queries[(i + 1) % n]);
+    const double* selves_rows = selves.flat().data();
+    std::vector<double> exact_excl(static_cast<size_t>(n));
+    ASSERT_TRUE(kde->EvaluateExcludingSelvesBatch(rows, selves_rows, n,
+                                                  exact_excl.data())
+                    .ok());
+    std::vector<double> approx_excl(static_cast<size_t>(n));
+    std::vector<double> bound_excl(static_cast<size_t>(n));
+    ASSERT_TRUE(tree->EvaluateExcludingSelvesBatchWithBound(
+                        rows, selves_rows, n, approx_excl.data(),
+                        bound_excl.data())
+                    .ok());
+    CheckCertificates(approx_excl, bound_excl, exact_excl, rel_error);
+
+    // Sharding is bitwise invisible in approximate mode too: every 20th
+    // config re-runs under 1- and 4-worker executors.
+    if (config % 20 == 0) {
+      for (int workers : {1, 4}) {
+        parallel::BatchExecutorOptions pool;
+        pool.num_workers = workers;
+        parallel::BatchExecutor executor(pool);
+        std::vector<double> sharded(static_cast<size_t>(n));
+        std::vector<double> sharded_bound(static_cast<size_t>(n));
+        ASSERT_TRUE(tree->EvaluateBatchWithBound(rows, n, sharded.data(),
+                                                 sharded_bound.data(),
+                                                 &executor)
+                        .ok());
+        executor.Shutdown();
+        ASSERT_EQ(std::memcmp(sharded.data(), approx.data(),
+                              static_cast<size_t>(n) * sizeof(double)),
+                  0)
+            << "config " << config << " workers " << workers;
+        ASSERT_EQ(std::memcmp(sharded_bound.data(), bound.data(),
+                              static_cast<size_t>(n) * sizeof(double)),
+                  0)
+            << "config " << config << " workers " << workers;
+      }
+    }
+  }
+}
+
+// Frozen golden for one pinned configuration: the FNV-1a hash of the
+// density array and of the certificate array. The approximate traversal is
+// deterministic by construction (deterministic tree build, nearer-child-
+// first descent with left tie-breaks, -ffp-contract=off), so these bytes
+// must never drift; a change here means the approximate mode's semantics
+// changed and must be re-reviewed, not re-pinned casually.
+TEST(DualTreeBudgetTest, FrozenGoldenPinnedConfig) {
+  data::PointSet data = MakeData(2, 1200, 321);
+  data::PointSet queries = MakeQueries(data, 64, 654);
+  const int64_t n = queries.size();
+
+  KdeOptions opts;
+  opts.num_kernels = 128;
+  opts.use_grid_index = false;
+  opts.seed = 19;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+
+  DualTreeKdeOptions tree_opts;
+  tree_opts.leaf_size = 16;
+  tree_opts.rel_error = 0.05;
+  auto tree = DualTreeKde::Build(*kde, tree_opts);
+  ASSERT_TRUE(tree.ok());
+
+  std::vector<double> approx(static_cast<size_t>(n));
+  std::vector<double> bound(static_cast<size_t>(n));
+  ASSERT_TRUE(tree->EvaluateBatchWithBound(queries.flat().data(), n,
+                                           approx.data(), bound.data())
+                  .ok());
+  EXPECT_EQ(Fnv1a(approx.data(), approx.size()), 0xDEB0C0AFCB3F7993ULL);
+  EXPECT_EQ(Fnv1a(bound.data(), bound.size()), 0x5D45348C301EA0A5ULL);
+}
+
+}  // namespace
+}  // namespace dbs::density

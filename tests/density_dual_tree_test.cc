@@ -1,0 +1,306 @@
+// Equivalence harness for the dual-tree KDE evaluator's EXACT mode
+// (density/dual_tree_kde.h, DESIGN.md §15).
+//
+// The contract under test: with rel_error == 0, every DualTreeKde
+// evaluation path is BITWISE identical to the ascending-center Kde paths —
+// the scalar EvaluateBrute and the batch paths of a model fitted with the
+// grid index off (which sum centers in ascending index order; the
+// grid-INDEXED path sums in hash-bucket order and agrees only to
+// rounding, so it is deliberately not the reference). The matrix covers
+// dims {1,2,3} x kernel counts {1, 1000, 50000} x workers {0,1,4}, plus
+// the degenerate shapes that break tree builds: all centers identical
+// (zero-extent boxes), one center per leaf, and queries far outside the
+// kernel support (all-pruned descents).
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/point_set.h"
+#include "density/dual_tree_kde.h"
+#include "density/kde.h"
+#include "parallel/batch_executor.h"
+#include "synth/generator.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace dbs::density {
+namespace {
+
+data::PointSet MakeData(int dim, int64_t points, uint64_t seed) {
+  synth::ClusteredDatasetOptions opts;
+  opts.dim = dim;
+  opts.num_clusters = 5;
+  opts.num_cluster_points = points;  // total across clusters, noise on top
+  opts.noise_multiplier = 0.15;
+  opts.shuffle = true;
+  opts.seed = seed;
+  auto ds = synth::MakeClusteredDataset(opts);
+  DBS_CHECK(ds.ok());
+  return std::move(ds)->points;
+}
+
+// Queries exercising every traversal branch: verbatim centers (exclusion
+// hits), near-miss jitter, uniform box points, and far-outside points
+// (fully pruned trees).
+data::PointSet MakeQueries(const data::PointSet& data, int64_t count) {
+  data::PointSet queries(data.dim());
+  Rng rng(93);
+  for (int64_t i = 0; i < count; ++i) {
+    std::vector<double> q(static_cast<size_t>(data.dim()));
+    data::PointView base = data[i % data.size()];
+    switch (i % 4) {
+      case 0:
+        for (int j = 0; j < data.dim(); ++j) q[j] = base[j];
+        break;
+      case 1:
+        for (int j = 0; j < data.dim(); ++j) {
+          q[j] = base[j] + 0.01 * (rng.NextDouble() - 0.5);
+        }
+        break;
+      case 2:
+        for (int j = 0; j < data.dim(); ++j) q[j] = rng.NextDouble();
+        break;
+      default:
+        for (int j = 0; j < data.dim(); ++j) q[j] = 10.0 + rng.NextDouble();
+        break;
+    }
+    queries.Append(data::PointView(q.data(), data.dim()));
+  }
+  return queries;
+}
+
+void ExpectBitwiseEqual(const std::vector<double>& got,
+                       const std::vector<double>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &want[i], sizeof(double)), 0)
+        << "index " << i << ": dual-tree " << got[i] << " vs reference "
+        << want[i];
+  }
+}
+
+// Full bitwise matrix for one (kde, tree) pair: all three batch variants,
+// the scalar brute path, and 0/1/4-worker sharding; plus the exact-mode
+// WithBound contract (same densities, certificates exactly zero).
+void CheckExactEquivalence(const Kde& kde, const DualTreeKde& tree,
+                           const data::PointSet& queries) {
+  const int64_t n = queries.size();
+  const double* rows = queries.flat().data();
+
+  data::PointSet selves(queries.dim());
+  for (int64_t i = 0; i < n; ++i) selves.Append(queries[(i + 1) % n]);
+  const double* selves_rows = selves.flat().data();
+
+  // References: the ascending-center Kde batch paths (index off)...
+  std::vector<double> ref(static_cast<size_t>(n));
+  std::vector<double> ref_excl(static_cast<size_t>(n));
+  std::vector<double> ref_selves(static_cast<size_t>(n));
+  ASSERT_TRUE(kde.EvaluateBatch(rows, n, ref.data()).ok());
+  ASSERT_TRUE(kde.EvaluateExcludingBatch(rows, n, ref_excl.data()).ok());
+  ASSERT_TRUE(kde.EvaluateExcludingSelvesBatch(rows, selves_rows, n,
+                                               ref_selves.data())
+                  .ok());
+  // ... which must themselves match the scalar brute path (sanity that the
+  // reference really is the ascending-order contract).
+  for (int64_t i = 0; i < n; ++i) {
+    const double scalar = kde.EvaluateBrute(queries[i]);
+    ASSERT_EQ(std::memcmp(&scalar, &ref[i], sizeof(double)), 0) << i;
+  }
+
+  // Scalar dual-tree entry points.
+  std::vector<double> got(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) got[i] = tree.Evaluate(queries[i]);
+  ExpectBitwiseEqual(got, ref);
+  for (int64_t i = 0; i < n; ++i) {
+    got[i] = tree.EvaluateExcluding(queries[i], selves[i]);
+  }
+  ExpectBitwiseEqual(got, ref_selves);
+
+  // Batch paths across worker counts (0 = no executor).
+  for (int workers : {0, 1, 4}) {
+    parallel::BatchExecutorOptions pool;
+    pool.num_workers = workers;
+    parallel::BatchExecutor* executor = nullptr;
+    std::unique_ptr<parallel::BatchExecutor> owned;
+    if (workers > 0) {
+      owned = std::make_unique<parallel::BatchExecutor>(pool);
+      executor = owned.get();
+    }
+    ASSERT_TRUE(tree.EvaluateBatch(rows, n, got.data(), executor).ok());
+    ExpectBitwiseEqual(got, ref);
+    ASSERT_TRUE(
+        tree.EvaluateExcludingBatch(rows, n, got.data(), executor).ok());
+    ExpectBitwiseEqual(got, ref_excl);
+    ASSERT_TRUE(tree.EvaluateExcludingSelvesBatch(rows, selves_rows, n,
+                                                  got.data(), executor)
+                    .ok());
+    ExpectBitwiseEqual(got, ref_selves);
+
+    // Exact mode's certificates: identical densities, bound == +0.0.
+    std::vector<double> bound(static_cast<size_t>(n), 1.0);
+    ASSERT_TRUE(
+        tree.EvaluateBatchWithBound(rows, n, got.data(), bound.data(),
+                                    executor)
+            .ok());
+    ExpectBitwiseEqual(got, ref);
+    for (int64_t i = 0; i < n; ++i) ASSERT_EQ(bound[i], 0.0) << i;
+
+    if (owned != nullptr) owned->Shutdown();
+  }
+}
+
+struct MatrixCase {
+  int dim;
+  int64_t kernels;
+};
+
+class DualTreeExactTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(DualTreeExactTest, BitwiseIdenticalToAscendingCenterKde) {
+  const MatrixCase c = GetParam();
+  // Enough data to fill the kernel reservoir, modest query counts at the
+  // 50k-kernel end (the brute reference is O(queries * kernels)).
+  const int64_t points = std::max<int64_t>(c.kernels, 600);
+  const int64_t num_queries = c.kernels >= 50000 ? 48 : 120;
+  data::PointSet data = MakeData(c.dim, points, 11 + c.dim);
+  data::PointSet queries = MakeQueries(data, num_queries);
+
+  KdeOptions opts;
+  opts.num_kernels = c.kernels;
+  opts.use_grid_index = false;  // the ascending-center reference order
+  opts.seed = 7;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+  ASSERT_EQ(kde->num_kernels(), c.kernels);
+
+  auto tree = DualTreeKde::Build(*kde);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_EQ(tree->rel_error(), 0.0);
+  ASSERT_EQ(tree->num_kernels(), c.kernels);
+  CheckExactEquivalence(*kde, *tree, queries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DualTreeExactTest,
+    ::testing::Values(MatrixCase{1, 1}, MatrixCase{1, 1000},
+                      MatrixCase{1, 50000}, MatrixCase{2, 1},
+                      MatrixCase{2, 1000}, MatrixCase{2, 50000},
+                      MatrixCase{3, 1}, MatrixCase{3, 1000},
+                      MatrixCase{3, 50000}));
+
+// All centers identical: every node box has zero extent, so the build must
+// bottom out in one oversized leaf instead of recursing forever, and the
+// bandwidth floor keeps evaluation finite.
+TEST(DualTreeDegenerateTest, AllPointsIdentical) {
+  const int dim = 2;
+  data::PointSet data(dim);
+  const double coords[2] = {0.25, -1.5};
+  for (int i = 0; i < 500; ++i) data.Append(data::PointView(coords, dim));
+
+  KdeOptions opts;
+  opts.num_kernels = 64;
+  opts.use_grid_index = false;
+  opts.seed = 5;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+  auto tree = DualTreeKde::Build(*kde);
+  ASSERT_TRUE(tree.ok());
+
+  data::PointSet queries(dim);
+  queries.Append(data::PointView(coords, dim));
+  const double near[2] = {0.25 + 1e-7, -1.5};
+  queries.Append(data::PointView(near, dim));
+  const double far[2] = {40.0, 40.0};
+  queries.Append(data::PointView(far, dim));
+  CheckExactEquivalence(*kde, *tree, queries);
+}
+
+// leaf_size = 1: one center per leaf, the deepest possible tree.
+TEST(DualTreeDegenerateTest, OnePointPerLeaf) {
+  data::PointSet data = MakeData(2, 1200, 21);
+  data::PointSet queries = MakeQueries(data, 80);
+  KdeOptions opts;
+  opts.num_kernels = 400;
+  opts.use_grid_index = false;
+  opts.seed = 9;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+
+  DualTreeKdeOptions tree_opts;
+  tree_opts.leaf_size = 1;
+  auto tree = DualTreeKde::Build(*kde, tree_opts);
+  ASSERT_TRUE(tree.ok());
+  // With leaf_size 1 every leaf holds exactly one center.
+  for (int32_t id = 0; id < tree->num_nodes(); ++id) {
+    DualTreeKde::NodeView node = tree->node(id);
+    if (node.is_leaf) {
+      ASSERT_EQ(node.end - node.begin, 1) << id;
+    }
+  }
+  CheckExactEquivalence(*kde, *tree, queries);
+}
+
+// Queries entirely outside the kernel support: the whole tree prunes and
+// the result must be exactly +0.0, matching the brute sum of all-zero
+// terms bit for bit.
+TEST(DualTreeDegenerateTest, QueriesFarOutsideSupport) {
+  data::PointSet data = MakeData(3, 900, 31);
+  KdeOptions opts;
+  opts.num_kernels = 300;
+  opts.use_grid_index = false;
+  opts.seed = 13;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+  auto tree = DualTreeKde::Build(*kde);
+  ASSERT_TRUE(tree.ok());
+
+  data::PointSet queries(3);
+  Rng rng(77);
+  for (int i = 0; i < 64; ++i) {
+    double q[3];
+    for (int j = 0; j < 3; ++j) q[j] = 100.0 + rng.NextDouble();
+    queries.Append(data::PointView(q, 3));
+  }
+  const int64_t n = queries.size();
+  std::vector<double> got(static_cast<size_t>(n), -1.0);
+  ASSERT_TRUE(tree->EvaluateBatch(queries.flat().data(), n, got.data()).ok());
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(got[i], 0.0) << i;
+    ASSERT_FALSE(std::signbit(got[i])) << i;  // +0.0, not -0.0
+  }
+  CheckExactEquivalence(*kde, *tree, queries);
+}
+
+// Build-time validation: rejected options and the fit-options gate.
+TEST(DualTreeBuildTest, OptionValidationAndFitOptionsGate) {
+  data::PointSet data = MakeData(2, 400, 41);
+  KdeOptions opts;
+  opts.num_kernels = 64;
+  opts.use_grid_index = false;
+  opts.dual_tree_rel_error = 0.05;
+  auto kde = Kde::Fit(data, opts);
+  ASSERT_TRUE(kde.ok());
+
+  DualTreeKdeOptions bad;
+  bad.leaf_size = 0;
+  ASSERT_FALSE(DualTreeKde::Build(*kde, bad).ok());
+  bad = DualTreeKdeOptions{};
+  bad.query_tile = 0;
+  ASSERT_FALSE(DualTreeKde::Build(*kde, bad).ok());
+  bad = DualTreeKdeOptions{};
+  bad.rel_error = -0.1;
+  ASSERT_FALSE(DualTreeKde::Build(*kde, bad).ok());
+
+  // The KdeOptions overload picks up the approximate-mode gate.
+  auto gated = DualTreeKde::Build(*kde, opts);
+  ASSERT_TRUE(gated.ok());
+  ASSERT_EQ(gated->rel_error(), 0.05);
+}
+
+}  // namespace
+}  // namespace dbs::density
