@@ -17,8 +17,17 @@
 // against the scalar ones, and exits nonzero on any mismatch — CI runs
 // this as the regression gate for the batch rollout.
 //
+// mode=exact sweeps the three exact detectors (kd-tree, cell-list, nested
+// loop) over dims= x workers= on a clustered workload, checks every report
+// field against the sequential kd-tree reference, emits JSON rows with the
+// cell-list prune statistics and exits nonzero on any mismatch — CI runs
+// this as the regression gate for the cell-list rollout.
+//
 //   outlier_detection [mode=paper] [points=40000] [queries=4000]
 //                     [qmc_samples=64] [reps=3] [threads=4]
+//   outlier_detection mode=exact [points=20000] [dims=2,3,5]
+//                     [workers=0,1,4] [algos=kd,cell,nested] [reps=3]
+//                     [out=BENCH_outlier_exact.json]
 
 #include <chrono>
 #include <cstdio>
@@ -30,6 +39,7 @@
 #include "eval/experiment.h"
 #include "eval/report.h"
 #include "outlier/ball_integration.h"
+#include "outlier/cell_list.h"
 #include "outlier/exact_detector.h"
 #include "outlier/kde_detector.h"
 #include "parallel/batch_executor.h"
@@ -47,8 +57,9 @@ struct Workload {
   std::vector<int64_t> planted;
 };
 
-Workload MakeClusteredWorkload(int64_t n, uint64_t seed) {
+Workload MakeClusteredWorkload(int64_t n, uint64_t seed, int dim = 2) {
   dbs::synth::ClusteredDatasetOptions opts;
+  opts.dim = dim;
   opts.num_clusters = 8;
   opts.num_cluster_points = n;
   opts.noise_multiplier = 0.0;
@@ -59,8 +70,8 @@ Workload MakeClusteredWorkload(int64_t n, uint64_t seed) {
   dbs::synth::OutlierPlantingOptions plant;
   plant.count = 30;
   plant.min_distance = 0.1;
-  plant.domain_lo = {-0.5, -0.5};
-  plant.domain_hi = {1.5, 1.5};
+  plant.domain_lo.assign(static_cast<size_t>(dim), -0.5);
+  plant.domain_hi.assign(static_cast<size_t>(dim), 1.5);
   plant.seed = seed + 1;
   auto planted = dbs::synth::PlantOutliers(w.points, plant);
   DBS_CHECK(planted.ok());
@@ -203,6 +214,190 @@ int RunBatchMode(int64_t points, int64_t queries, int qmc_samples, int reps,
   return 0;
 }
 
+bool ParseIntList(const std::string& spec, std::vector<int>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    if (token.empty()) return false;
+    for (char c : token) {
+      if (c < '0' || c > '9') return false;
+    }
+    out->push_back(std::atoi(token.c_str()));
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseAlgoList(const std::string& spec, std::vector<std::string>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string token = spec.substr(pos, comma - pos);
+    if (token != "kd" && token != "cell" && token != "nested") return false;
+    out->push_back(token);
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+// Field-by-field report comparison; any difference in the outlier set, the
+// per-outlier counts, candidates_checked or passes counts as one mismatch
+// per differing field (sizes differing count the whole field once).
+int64_t CountReportMismatches(const dbs::outlier::OutlierReport& got,
+                              const dbs::outlier::OutlierReport& want) {
+  int64_t bad = 0;
+  if (got.outlier_indices != want.outlier_indices) ++bad;
+  if (got.neighbor_counts != want.neighbor_counts) ++bad;
+  if (got.candidates_checked != want.candidates_checked) ++bad;
+  if (got.passes != want.passes) ++bad;
+  return bad;
+}
+
+struct ExactSeries {
+  int dim = 0;
+  std::string algo;
+  int workers = 0;  // 0 = sequential (no executor)
+  double seconds = 0.0;
+  double speedup_vs_kd_seq = 0.0;
+  int64_t mismatches = 0;
+  dbs::outlier::CellListStats stats;  // zero for kd/nested rows
+};
+
+void WriteExactJson(const std::string& path, int64_t points, int reps,
+                    const std::vector<ExactSeries>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"outlier_exact\",\n"
+               "  \"points\": %lld,\n  \"reps\": %d,\n"
+               "  \"results\": [\n",
+               static_cast<long long>(points), reps);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ExactSeries& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"dim\": %d, \"algo\": \"%s\", \"workers\": %d, "
+        "\"seconds\": %.6f, \"speedup_vs_kd_seq\": %.3f, "
+        "\"mismatches\": %lld, \"grid_cells\": %lld, "
+        "\"occupied_cells\": %lld, \"cells_dense_pruned\": %lld, "
+        "\"cells_sparse_pruned\": %lld, \"pairwise_evaluated\": %lld, "
+        "\"used_fallback\": %s}%s\n",
+        r.dim, r.algo.c_str(), r.workers, r.seconds, r.speedup_vs_kd_seq,
+        static_cast<long long>(r.mismatches),
+        static_cast<long long>(r.stats.grid_cells),
+        static_cast<long long>(r.stats.occupied_cells),
+        static_cast<long long>(r.stats.cells_dense_pruned),
+        static_cast<long long>(r.stats.cells_sparse_pruned),
+        static_cast<long long>(r.stats.pairwise_evaluated),
+        r.stats.used_fallback ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+// mode=exact: kd-tree vs cell-list vs nested-loop over dims x workers,
+// every report checked field-by-field against the sequential kd-tree
+// reference. Returns the process exit code (nonzero on any mismatch).
+int RunExactMode(int64_t points, const std::vector<int>& dims,
+                 const std::vector<int>& worker_counts,
+                 const std::vector<std::string>& algos, int reps,
+                 const std::string& out) {
+  dbs::outlier::DbOutlierParams params;
+  params.radius = 0.05;
+  params.max_neighbors = 5;
+  std::printf("outlier_detection mode=exact: %lld points, DB(p=%lld, "
+              "k=%.2f)-outliers, clustered workload, best of %d reps\n\n",
+              static_cast<long long>(points),
+              static_cast<long long>(params.max_neighbors), params.radius,
+              reps);
+  std::printf("%4s %7s %8s %10s %9s %9s %7s %7s %11s %9s\n", "dim", "algo",
+              "workers", "seconds", "speedup", "mismatch", "dense",
+              "sparse", "pairwise", "fallback");
+
+  std::vector<ExactSeries> results;
+  int64_t total_bad = 0;
+  for (int dim : dims) {
+    Workload w = MakeClusteredWorkload(points, 61, dim);
+    auto reference = dbs::outlier::DetectOutliersExact(w.points, params);
+    DBS_CHECK(reference.ok());
+    double kd_seq_seconds = 0.0;
+    for (const std::string& algo : algos) {
+      for (int workers : worker_counts) {
+        std::unique_ptr<dbs::parallel::BatchExecutor> pool;
+        if (workers > 0) {
+          dbs::parallel::BatchExecutorOptions pool_opts;
+          pool_opts.num_workers = workers;
+          pool_opts.queue_capacity = 4096;
+          pool = std::make_unique<dbs::parallel::BatchExecutor>(pool_opts);
+        }
+        ExactSeries series;
+        series.dim = dim;
+        series.algo = algo;
+        series.workers = workers;
+        dbs::outlier::OutlierReport report;
+        if (algo == "cell") {
+          dbs::outlier::CellListDetectorOptions options;
+          options.executor = pool.get();
+          options.stats = &series.stats;
+          series.seconds = TimeBest(reps, [&] {
+            auto r = dbs::outlier::DetectOutliersCellList(w.points, params,
+                                                          options);
+            DBS_CHECK(r.ok());
+            report = std::move(r).value();
+          });
+        } else {
+          dbs::outlier::ExactDetectorOptions options;
+          options.executor = pool.get();
+          series.seconds = TimeBest(reps, [&] {
+            auto r = algo == "kd"
+                         ? dbs::outlier::DetectOutliersExact(w.points,
+                                                             params, options)
+                         : dbs::outlier::DetectOutliersNestedLoop(
+                               w.points, params, options);
+            DBS_CHECK(r.ok());
+            report = std::move(r).value();
+          });
+        }
+        if (pool != nullptr) pool->Shutdown();
+        if (algo == "kd" && workers == 0) kd_seq_seconds = series.seconds;
+        series.speedup_vs_kd_seq =
+            kd_seq_seconds > 0 && series.seconds > 0
+                ? kd_seq_seconds / series.seconds
+                : 0.0;
+        series.mismatches = CountReportMismatches(report, *reference);
+        total_bad += series.mismatches;
+        std::printf("%4d %7s %8d %10.4f %8.2fx %9lld %7lld %7lld %11lld "
+                    "%9s\n",
+                    dim, algo.c_str(), workers, series.seconds,
+                    series.speedup_vs_kd_seq,
+                    static_cast<long long>(series.mismatches),
+                    static_cast<long long>(series.stats.cells_dense_pruned),
+                    static_cast<long long>(series.stats.cells_sparse_pruned),
+                    static_cast<long long>(series.stats.pairwise_evaluated),
+                    series.stats.used_fallback ? "yes" : "no");
+        results.push_back(std::move(series));
+      }
+    }
+  }
+  if (!out.empty()) WriteExactJson(out, points, reps, results);
+  if (total_bad > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld report fields differ from the sequential "
+                 "kd-tree reference\n",
+                 static_cast<long long>(total_bad));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +409,11 @@ int main(int argc, char** argv) {
   const int qmc_samples = static_cast<int>(flags.GetInt("qmc_samples", 64));
   const int reps = static_cast<int>(flags.GetInt("reps", 3));
   const int threads = static_cast<int>(flags.GetInt("threads", 4));
+  const std::string dims_spec = flags.GetString("dims", "2,3,5");
+  const std::string workers_spec = flags.GetString("workers", "0,1,4");
+  const std::string algos_spec = flags.GetString("algos", "kd,cell,nested");
+  const std::string out =
+      flags.GetString("out", "BENCH_outlier_exact.json");
   if (!flags.AllKnown()) return 2;
   DBS_CHECK(batch_points > 0 && batch_queries > 0 && qmc_samples > 0 &&
             reps > 0 && threads > 0);
@@ -221,8 +421,23 @@ int main(int argc, char** argv) {
     return RunBatchMode(batch_points, batch_queries, qmc_samples, reps,
                         threads, /*radius=*/0.05);
   }
+  if (mode == "exact") {
+    std::vector<int> dims;
+    std::vector<int> worker_counts;
+    std::vector<std::string> algos;
+    if (!ParseIntList(dims_spec, &dims) ||
+        !ParseIntList(workers_spec, &worker_counts) ||
+        !ParseAlgoList(algos_spec, &algos)) {
+      std::fprintf(stderr,
+                   "bad dims=/workers=/algos= (algos from kd,cell,nested)\n");
+      return 2;
+    }
+    // The default points=40000 is sized for mode=paper; mode=exact runs the
+    // quadratic nested loop too, so its acceptance sweep uses points=20000.
+    return RunExactMode(batch_points, dims, worker_counts, algos, reps, out);
+  }
   if (mode != "paper") {
-    std::fprintf(stderr, "unknown mode '%s' (expected paper|batch)\n",
+    std::fprintf(stderr, "unknown mode '%s' (expected paper|batch|exact)\n",
                  mode.c_str());
     return 2;
   }

@@ -1,0 +1,38 @@
+// Shared (points, params) validation for the exact DB(p,k) detectors.
+//
+// All three exact entry points — kd-tree (DetectOutliersExact), cell list
+// (DetectOutliersCellList) and nested loop (DetectOutliersNestedLoop) —
+// accept the same inputs and must reject the same degenerate ones with the
+// same messages, so the checks live here rather than being re-stated (and
+// drifting) per detector.
+
+#ifndef DBS_OUTLIER_DETECTOR_PARAMS_H_
+#define DBS_OUTLIER_DETECTOR_PARAMS_H_
+
+#include "data/point_set.h"
+#include "outlier/db_outlier.h"
+#include "util/status.h"
+
+namespace dbs::outlier {
+
+// Rejects empty inputs, negative radii and out-of-range neighbor bounds.
+[[nodiscard]] inline Status ValidateExactDetectorArgs(
+    const data::PointSet& points, const DbOutlierParams& params) {
+  if (points.empty()) {
+    return Status::InvalidArgument("cannot detect outliers in an empty set");
+  }
+  if (params.radius < 0) {
+    return Status::InvalidArgument("radius cannot be negative");
+  }
+  if (params.max_neighbor_fraction < 0 && params.max_neighbors < 0) {
+    return Status::InvalidArgument("neighbor bound cannot be negative");
+  }
+  if (params.max_neighbor_fraction > 1) {
+    return Status::InvalidArgument("neighbor fraction cannot exceed 1");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dbs::outlier
+
+#endif  // DBS_OUTLIER_DETECTOR_PARAMS_H_

@@ -4,29 +4,10 @@
 
 #include "data/distance.h"
 #include "data/kd_tree.h"
+#include "outlier/detector_params.h"
 #include "parallel/batch_executor.h"
 
 namespace dbs::outlier {
-namespace {
-
-[[nodiscard]] Status ValidateParams(const data::PointSet& points,
-                      const DbOutlierParams& params) {
-  if (points.empty()) {
-    return Status::InvalidArgument("cannot detect outliers in an empty set");
-  }
-  if (params.radius < 0) {
-    return Status::InvalidArgument("radius cannot be negative");
-  }
-  if (params.max_neighbor_fraction < 0 && params.max_neighbors < 0) {
-    return Status::InvalidArgument("neighbor bound cannot be negative");
-  }
-  if (params.max_neighbor_fraction > 1) {
-    return Status::InvalidArgument("neighbor fraction cannot exceed 1");
-  }
-  return Status::Ok();
-}
-
-}  // namespace
 
 [[nodiscard]] Result<OutlierReport> DetectOutliersExact(const data::PointSet& points,
                                           const DbOutlierParams& params) {
@@ -36,7 +17,7 @@ namespace {
 [[nodiscard]] Result<OutlierReport> DetectOutliersExact(
     const data::PointSet& points, const DbOutlierParams& params,
     const ExactDetectorOptions& options) {
-  DBS_RETURN_IF_ERROR(ValidateParams(points, params));
+  DBS_RETURN_IF_ERROR(ValidateExactDetectorArgs(points, params));
   const int64_t n = points.size();
   const int64_t p = params.NeighborBound(n);
 
@@ -76,27 +57,46 @@ namespace {
 
 [[nodiscard]] Result<OutlierReport> DetectOutliersNestedLoop(const data::PointSet& points,
                                                const DbOutlierParams& params) {
-  DBS_RETURN_IF_ERROR(ValidateParams(points, params));
+  return DetectOutliersNestedLoop(points, params, ExactDetectorOptions{});
+}
+
+[[nodiscard]] Result<OutlierReport> DetectOutliersNestedLoop(
+    const data::PointSet& points, const DbOutlierParams& params,
+    const ExactDetectorOptions& options) {
+  DBS_RETURN_IF_ERROR(ValidateExactDetectorArgs(points, params));
   const int64_t n = points.size();
   const int64_t p = params.NeighborBound(n);
+
+  // Same disjoint-slot pattern as the kd-tree path: each outer-loop index
+  // owns one count slot, the early abort leaves p+1 in it (> p, so the
+  // ascending assembly below skips the point), and the report comes out
+  // byte-identical at any worker count.
+  std::vector<int64_t> neighbor_counts(static_cast<size_t>(n));
+  auto scan_range = [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      int64_t neighbors = 0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        if (data::Distance(points[i], points[j], params.metric) <=
+            params.radius) {
+          ++neighbors;
+          if (neighbors > p) break;
+        }
+      }
+      neighbor_counts[static_cast<size_t>(i)] = neighbors;
+    }
+  };
+  if (options.executor != nullptr) {
+    DBS_RETURN_IF_ERROR(options.executor->ParallelFor(n, scan_range));
+  } else {
+    scan_range(0, n);
+  }
 
   OutlierReport report;
   report.passes = 1;
   for (int64_t i = 0; i < n; ++i) {
-    int64_t neighbors = 0;
-    bool outlier = true;
-    for (int64_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      if (data::Distance(points[i], points[j], params.metric) <=
-          params.radius) {
-        ++neighbors;
-        if (neighbors > p) {
-          outlier = false;
-          break;
-        }
-      }
-    }
-    if (outlier) {
+    int64_t neighbors = neighbor_counts[static_cast<size_t>(i)];
+    if (neighbors <= p) {
       report.outlier_indices.push_back(i);
       report.neighbor_counts.push_back(neighbors);
     }

@@ -41,6 +41,13 @@ struct ExactDetectorOptions {
 [[nodiscard]] Result<OutlierReport> DetectOutliersNestedLoop(const data::PointSet& points,
                                                const DbOutlierParams& params);
 
+// As above, optionally sharding the outer loop over options.executor. Each
+// point's inner scan is independent and writes one disjoint count slot, so
+// the report is byte-identical at any worker count.
+[[nodiscard]] Result<OutlierReport> DetectOutliersNestedLoop(
+    const data::PointSet& points, const DbOutlierParams& params,
+    const ExactDetectorOptions& options);
+
 }  // namespace dbs::outlier
 
 #endif  // DBS_OUTLIER_EXACT_DETECTOR_H_

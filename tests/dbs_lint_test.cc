@@ -147,6 +147,10 @@ TEST(UnorderedContainer, FlagsOnlyInDensityCoreAndShard) {
   // must produce identical bytes for every merge order.
   EXPECT_EQ(Rules(LintSource("src/shard/coordinator.cc", bad)),
             std::vector<std::string>{"unordered-container"});
+  // The exact detectors promise byte-identical reports across algorithms
+  // and worker counts; the cell-list grid must keep deterministic order.
+  EXPECT_EQ(Rules(LintSource("src/outlier/cell_list.cc", bad)),
+            std::vector<std::string>{"unordered-container"});
   // The shm transport files carry the bitwise transport-equivalence
   // contract, so they are in scope too. (The header snippet needs a guard
   // so only the rule under test fires.)

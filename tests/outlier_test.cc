@@ -157,6 +157,46 @@ TEST(ExactDetectorTest, ShardedCountingMatchesSequentialExactly) {
   }
 }
 
+TEST(NestedLoopTest, ShardedScanMatchesSequentialExactly) {
+  PlantedWorkload w = MakePlanted(1500, 6, 12);
+  DbOutlierParams params;
+  params.radius = 0.1;
+  params.max_neighbors = 5;
+  auto sequential = DetectOutliersNestedLoop(w.points, params);
+  ASSERT_TRUE(sequential.ok());
+  for (int workers : {1, 4}) {
+    SCOPED_TRACE(workers);
+    parallel::BatchExecutorOptions pool;
+    pool.num_workers = workers;
+    pool.min_shard = 64;  // force real sharding at this size
+    parallel::BatchExecutor executor(pool);
+    ExactDetectorOptions options;
+    options.executor = &executor;
+    auto sharded = DetectOutliersNestedLoop(w.points, params, options);
+    ASSERT_TRUE(sharded.ok());
+    EXPECT_EQ(sharded->outlier_indices, sequential->outlier_indices);
+    EXPECT_EQ(sharded->neighbor_counts, sequential->neighbor_counts);
+    EXPECT_EQ(sharded->candidates_checked, sequential->candidates_checked);
+    EXPECT_EQ(sharded->passes, sequential->passes);
+  }
+}
+
+TEST(NestedLoopTest, ShardedScanPropagatesBackpressure) {
+  PlantedWorkload w = MakePlanted(1000, 2, 15);
+  DbOutlierParams params;
+  params.radius = 0.1;
+  params.max_neighbors = 5;
+  parallel::BatchExecutorOptions pool;
+  pool.num_workers = 1;
+  pool.min_shard = 1;
+  parallel::BatchExecutor executor(pool);
+  executor.Shutdown();  // every submit now fails
+  ExactDetectorOptions options;
+  options.executor = &executor;
+  auto report = DetectOutliersNestedLoop(w.points, params, options);
+  EXPECT_FALSE(report.ok());
+}
+
 TEST(ExactDetectorTest, ShardedCountingPropagatesBackpressure) {
   PlantedWorkload w = MakePlanted(2000, 2, 13);
   DbOutlierParams params;

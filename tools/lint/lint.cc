@@ -243,10 +243,14 @@ void CheckUnorderedContainer(RuleContext& ctx) {
   // The shm transport files join the scope: their frame paths feed the
   // bitwise transport-equivalence contract, so no hash-order iteration
   // there either. (The rest of src/serve/ stays exempt — the model
-  // registry legitimately keys models by hash.)
+  // registry legitimately keys models by hash.) src/outlier/ is in scope
+  // because the exact detectors promise byte-identical reports across
+  // algorithms and worker counts — the cell-list grid in particular must
+  // keep cells and residents in deterministic order.
   if (!StartsWith(ctx.path, "src/density/") &&
       !StartsWith(ctx.path, "src/core/") &&
       !StartsWith(ctx.path, "src/shard/") &&
+      !StartsWith(ctx.path, "src/outlier/") &&
       !StartsWith(ctx.path, "src/serve/shm_")) {
     return;
   }
@@ -589,8 +593,9 @@ constexpr RuleDoc kRuleDocs[] = {
     {"unordered-container",
      "Hash-order iteration is what broke bitwise reproducibility before "
      "the flat sorted KDE table. std::unordered_* stays out of "
-     "src/density, src/core, src/shard and the shm transport files, "
-     "whose merge/frame paths must be order-invariant."},
+     "src/density, src/core, src/shard, src/outlier and the shm "
+     "transport files, whose merge/frame/report paths must be "
+     "order-invariant."},
     {"serve-throw",
      "The serving stack's error contract is Status codes on the wire; "
      "an exception cannot cross a socket or an shm ring."},
